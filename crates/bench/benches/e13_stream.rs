@@ -1,0 +1,46 @@
+//! E13 (extension) — §8.4's video direction: fire-and-forget frames vs
+//! request/reply delivery for media payloads.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spring_bench::fixtures::{ctx_on, echo, PingServant, PINGER_TYPE};
+use spring_kernel::Kernel;
+use spring_subcontracts::stream::Stream;
+use spring_subcontracts::Simplex;
+use subcontract::{ship_object, KernelTransport, ServerSubcontract};
+
+fn bench(c: &mut Criterion) {
+    let kernel = Kernel::new("e13");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    server.register_subcontract(Stream::new());
+    client.register_subcontract(Stream::new());
+
+    let mut group = c.benchmark_group("e13_stream");
+    for size in [1024usize, 8 * 1024, 64 * 1024] {
+        let frame = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        let obj = Simplex.export(&server, Arc::new(PingServant)).unwrap();
+        let rr = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+        group.bench_with_input(BenchmarkId::new("request_reply", size), &size, |b, _| {
+            b.iter(|| echo(&rr, &frame).unwrap())
+        });
+
+        let (obj, _stats) = Stream::export(
+            &server,
+            Arc::new(PingServant),
+            Arc::new(|_: u64, _: &[u8]| {}),
+        )
+        .unwrap();
+        let st = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+        group.bench_with_input(BenchmarkId::new("frame", size), &size, |b, _| {
+            b.iter(|| Stream::send_frame(&st, &frame).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E1 + E10 — §9.3: subcontract overhead on a minimal cross-domain call,
+//! and the §9.1 specialized-stub alternative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spring_bench::fixtures::{ctx_on, ping, FusedPing, PingServant, RawDoor, PINGER_TYPE};
+use spring_kernel::Kernel;
+use spring_subcontracts::{Simplex, Singleton};
+use std::sync::Arc;
+use subcontract::{ship_object, KernelTransport, ServerSubcontract};
+
+fn bench(c: &mut Criterion) {
+    let kernel = Kernel::new("bench-e1");
+    let mut group = c.benchmark_group("e1_null_call");
+
+    let raw = RawDoor::new(&kernel);
+    group.bench_function("raw_door", |b| b.iter(|| raw.call().unwrap()));
+
+    let fused = FusedPing::new(&kernel);
+    group.bench_function("fused_specialized_stubs", |b| {
+        b.iter(|| fused.call().unwrap())
+    });
+
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    let obj = Singleton.export(&server, Arc::new(PingServant)).unwrap();
+    let singleton = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    group.bench_function("general_stubs_singleton", |b| {
+        b.iter(|| ping(&singleton).unwrap())
+    });
+
+    let obj = Simplex.export(&server, Arc::new(PingServant)).unwrap();
+    let simplex = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    group.bench_function("general_stubs_simplex", |b| {
+        b.iter(|| ping(&simplex).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! E2 + E7 + E11 — §9.3 object transmission cost, §5.1.5 `marshal_copy`,
+//! and §6.1 compatible-subcontract re-dispatch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spring_bench::fixtures::{ctx_on, PingServant, PINGER_TYPE};
+use spring_kernel::Kernel;
+use spring_subcontracts::{ReplicaGroup, RepliconServer, Simplex, Singleton};
+use std::sync::Arc;
+use subcontract::{
+    ship_object, ship_object_copy, DomainCtx, KernelTransport, ServerSubcontract, SpringObj,
+};
+
+fn cleanup(ctx: &Arc<DomainCtx>, buf: spring_buf::CommBuffer) {
+    for d in buf.into_message().doors {
+        let _ = ctx.domain().delete_door(d);
+    }
+}
+
+fn bench_transmit(c: &mut Criterion) {
+    let kernel = Kernel::new("bench-e2");
+    let a = ctx_on(&kernel, "a");
+    let b = ctx_on(&kernel, "b");
+    let server = ctx_on(&kernel, "server");
+
+    let mut group = c.benchmark_group("e2_transmit");
+
+    // Bare identifier baseline.
+    let door = a
+        .domain()
+        .create_door(Arc::new(|_: &spring_kernel::CallCtx, m| Ok(m)))
+        .unwrap();
+    let mut current = door;
+    let mut at_a = true;
+    group.bench_function("bare_door_identifier", |bch| {
+        bch.iter(|| {
+            current = if at_a {
+                a.domain().transfer_door(current, b.domain()).unwrap()
+            } else {
+                b.domain().transfer_door(current, a.domain()).unwrap()
+            };
+            at_a = !at_a;
+        })
+    });
+
+    // Full subcontract transmission.
+    let obj = Singleton.export(&server, Arc::new(PingServant)).unwrap();
+    let mut slot = Some(ship_object(&KernelTransport, obj, &a, &PINGER_TYPE).unwrap());
+    let mut held_at_a = true;
+    group.bench_function("singleton_object", |bch| {
+        bch.iter(|| {
+            let obj: SpringObj = slot.take().unwrap();
+            let to = if held_at_a { &b } else { &a };
+            slot = Some(ship_object(&KernelTransport, obj, to, &PINGER_TYPE).unwrap());
+            held_at_a = !held_at_a;
+        })
+    });
+    group.finish();
+}
+
+fn bench_marshal_copy(c: &mut Criterion) {
+    let kernel = Kernel::new("bench-e7");
+    let server = ctx_on(&kernel, "server");
+    let mut group = c.benchmark_group("e7_marshal_copy");
+
+    let obj = Singleton.export(&server, Arc::new(PingServant)).unwrap();
+    group.bench_function("singleton/copy_then_marshal", |bch| {
+        bch.iter(|| {
+            let copy = obj.copy().unwrap();
+            let mut buf = spring_buf::CommBuffer::new();
+            copy.marshal(&mut buf).unwrap();
+            cleanup(&server, buf);
+        })
+    });
+    group.bench_function("singleton/marshal_copy", |bch| {
+        bch.iter(|| {
+            let mut buf = spring_buf::CommBuffer::new();
+            obj.marshal_copy(&mut buf).unwrap();
+            cleanup(&server, buf);
+        })
+    });
+
+    let rgroup = ReplicaGroup::new();
+    for i in 0..3 {
+        let ctx = ctx_on(&kernel, &format!("r{i}"));
+        rgroup
+            .add(RepliconServer::new(&ctx, Arc::new(PingServant)).unwrap())
+            .unwrap();
+    }
+    let robj = rgroup.object_for(&server).unwrap();
+    group.bench_function("replicon3/copy_then_marshal", |bch| {
+        bch.iter(|| {
+            let copy = robj.copy().unwrap();
+            let mut buf = spring_buf::CommBuffer::new();
+            copy.marshal(&mut buf).unwrap();
+            cleanup(&server, buf);
+        })
+    });
+    group.bench_function("replicon3/marshal_copy", |bch| {
+        bch.iter(|| {
+            let mut buf = spring_buf::CommBuffer::new();
+            robj.marshal_copy(&mut buf).unwrap();
+            cleanup(&server, buf);
+        })
+    });
+    group.finish();
+}
+
+fn bench_compat(c: &mut Criterion) {
+    let kernel = Kernel::new("bench-e11");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    let mut group = c.benchmark_group("e11_compat_redispatch");
+
+    let matching = Singleton.export(&server, Arc::new(PingServant)).unwrap();
+    let foreign = Simplex.export(&server, Arc::new(PingServant)).unwrap();
+
+    group.bench_function("expected_subcontract", |bch| {
+        bch.iter(|| {
+            ship_object_copy(&KernelTransport, &matching, &client, &PINGER_TYPE)
+                .unwrap()
+                .consume()
+                .unwrap();
+        })
+    });
+    group.bench_function("foreign_subcontract_redispatch", |bch| {
+        bch.iter(|| {
+            ship_object_copy(&KernelTransport, &foreign, &client, &PINGER_TYPE)
+                .unwrap()
+                .consume()
+                .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transmit, bench_marshal_copy, bench_compat);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E3 + E12 — §8.1 cluster export/invoke costs, and §5.2.1's local fast
+//! path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spring_bench::fixtures::{ctx_on, ping, PingServant, PINGER_TYPE};
+use spring_kernel::Kernel;
+use spring_subcontracts::{ClusterServer, Simplex};
+use std::sync::Arc;
+use subcontract::{ship_object, KernelTransport, ServerSubcontract};
+
+fn bench_export(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_export");
+    group.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("simplex", n), &n, |b, &n| {
+            b.iter_with_large_drop(|| {
+                let kernel = Kernel::new("e3");
+                let server = ctx_on(&kernel, "server");
+                let objs: Vec<_> = (0..n)
+                    .map(|_| Simplex.export(&server, Arc::new(PingServant)).unwrap())
+                    .collect();
+                objs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cluster", n), &n, |b, &n| {
+            b.iter_with_large_drop(|| {
+                let kernel = Kernel::new("e3");
+                let server = ctx_on(&kernel, "server");
+                let cluster = ClusterServer::new(&server).unwrap();
+                let objs: Vec<_> = (0..n)
+                    .map(|_| cluster.export(Arc::new(PingServant)).unwrap())
+                    .collect();
+                (cluster, objs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_invoke(c: &mut Criterion) {
+    let kernel = Kernel::new("e3-invoke");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    let mut group = c.benchmark_group("e3_invoke");
+
+    let obj = Simplex.export(&server, Arc::new(PingServant)).unwrap();
+    let simplex = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    group.bench_function("simplex", |b| b.iter(|| ping(&simplex).unwrap()));
+
+    let cluster = ClusterServer::new(&server).unwrap();
+    let obj = cluster.export(Arc::new(PingServant)).unwrap();
+    let clustered = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    group.bench_function("cluster_tagged", |b| b.iter(|| ping(&clustered).unwrap()));
+    group.finish();
+}
+
+fn bench_local(c: &mut Criterion) {
+    let kernel = Kernel::new("e12");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    let mut group = c.benchmark_group("e12_local_fast_path");
+
+    let local = Simplex::export_local(&server, Arc::new(PingServant)).unwrap();
+    group.bench_function("local", |b| b.iter(|| ping(&local).unwrap()));
+
+    let obj = Simplex.export(&server, Arc::new(PingServant)).unwrap();
+    let remote = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    group.bench_function("cross_domain", |b| b.iter(|| ping(&remote).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_export, bench_invoke, bench_local);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! E4 — §8.2: caching subcontract vs simplex for repeated remote reads.
+//!
+//! Network latency here is kept small (50 µs) so Criterion runs finish;
+//! the `report` binary sweeps 0/100 µs/1 ms and records the crossover.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spring_bench::fixtures::ctx_on;
+use spring_naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring_net::{NetConfig, Network};
+use spring_services::{file_cache_manager, fs, FileServer};
+use subcontract::{ship_object, DomainCtx};
+
+struct Setup {
+    net: Arc<Network>,
+    client_ctx: Arc<DomainCtx>,
+    fileserver: Arc<FileServer>,
+}
+
+fn setup(latency: Duration) -> Setup {
+    let net = Network::new(NetConfig::with_latency(latency));
+    let server_node = net.add_node("server");
+    let client_node = net.add_node("client");
+    let server_ctx = ctx_on(server_node.kernel(), "fileserver");
+    let client_ctx = ctx_on(client_node.kernel(), "client");
+    let mgr_ctx = ctx_on(client_node.kernel(), "manager");
+    let ns_ctx = ctx_on(client_node.kernel(), "naming");
+
+    let ns = NameServer::new(&ns_ctx);
+    let manager = file_cache_manager(&mgr_ctx);
+    let mgr_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &mgr_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    mgr_names
+        .bind("cache_manager", &manager.export().unwrap())
+        .unwrap();
+    let client_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &client_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    client_ctx.set_resolver(Arc::new(client_names));
+
+    let fileserver = FileServer::new(&server_ctx, "cache_manager");
+    fileserver.put("data", &vec![9u8; 4096]);
+    Setup {
+        net,
+        client_ctx,
+        fileserver,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let s = setup(Duration::from_micros(50));
+    let mut group = c.benchmark_group("e4_caching");
+    group.sample_size(10);
+
+    for k in [1u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("simplex_reads", k), &k, |b, &k| {
+            b.iter(|| {
+                let f = fs::File::from_obj(
+                    ship_object(
+                        &*s.net,
+                        s.fileserver.export_file("data").unwrap(),
+                        &s.client_ctx,
+                        &fs::FILE_TYPE,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+                for _ in 0..k {
+                    let _ = f.read(0, 1024).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("caching_reads", k), &k, |b, &k| {
+            b.iter(|| {
+                let f = fs::CacheableFile::from_obj(
+                    ship_object(
+                        &*s.net,
+                        s.fileserver.export_cacheable("data").unwrap(),
+                        &s.client_ctx,
+                        &fs::CACHEABLE_FILE_TYPE,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+                for _ in 0..k {
+                    let _ = f.read(0, 1024).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

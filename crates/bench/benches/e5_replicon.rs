@@ -1,0 +1,61 @@
+//! E5 — §5: replicon invocation cost by replica count, and the price of a
+//! failover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spring_bench::fixtures::{ctx_on, ping, PingServant};
+use spring_kernel::Kernel;
+use spring_subcontracts::{ReplicaGroup, RepliconServer};
+use std::sync::Arc;
+
+fn bench_normal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_replicon_invoke");
+    for r in [1usize, 3, 5] {
+        let kernel = Kernel::new("e5");
+        let rgroup = ReplicaGroup::new();
+        for i in 0..r {
+            let ctx = ctx_on(&kernel, &format!("replica-{i}"));
+            rgroup
+                .add(RepliconServer::new(&ctx, Arc::new(PingServant)).unwrap())
+                .unwrap();
+        }
+        let client = ctx_on(&kernel, "client");
+        let obj = rgroup.object_for(&client).unwrap();
+        group.bench_with_input(BenchmarkId::new("replicas", r), &r, |b, _| {
+            b.iter(|| ping(&obj).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_replicon_failover");
+    group.sample_size(10);
+    // Each iteration sets up a 3-replica group, kills two, and measures the
+    // call that walks the dead doors.
+    group.bench_function("first_call_after_two_deaths", |b| {
+        b.iter_with_setup(
+            || {
+                let kernel = Kernel::new("e5f");
+                let rgroup = ReplicaGroup::new();
+                let mut ctxs = Vec::new();
+                for i in 0..3 {
+                    let ctx = ctx_on(&kernel, &format!("replica-{i}"));
+                    rgroup
+                        .add(RepliconServer::new(&ctx, Arc::new(PingServant)).unwrap())
+                        .unwrap();
+                    ctxs.push(ctx);
+                }
+                let client = ctx_on(&kernel, "client");
+                let obj = rgroup.object_for(&client).unwrap();
+                ctxs[0].domain().crash();
+                ctxs[1].domain().crash();
+                (obj, rgroup, ctxs)
+            },
+            |(obj, _g, _c)| ping(&obj).unwrap(),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal, bench_failover);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 — §5.1.4: marshalling into shared memory vs the copied path, by
+//! payload size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spring_bench::fixtures::{ctx_on, echo, PingServant, PINGER_TYPE};
+use spring_kernel::Kernel;
+use spring_subcontracts::{Shmem, Simplex};
+use std::sync::Arc;
+use subcontract::{ship_object, KernelTransport, ServerSubcontract};
+
+fn bench(c: &mut Criterion) {
+    let kernel = Kernel::new("e8");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    let mut group = c.benchmark_group("e8_shmem");
+
+    for size in [64usize, 4096, 65536, 262_144] {
+        let payload = vec![0x55u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        let obj = Simplex.export(&server, Arc::new(PingServant)).unwrap();
+        let simplex = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+        group.bench_with_input(BenchmarkId::new("simplex_echo", size), &size, |b, _| {
+            b.iter(|| echo(&simplex, &payload).unwrap())
+        });
+
+        let obj = Shmem::export(&server, Arc::new(PingServant), size + 4096).unwrap();
+        let shm = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+        group.bench_with_input(BenchmarkId::new("shmem_echo", size), &size, |b, _| {
+            b.iter(|| echo(&shm, &payload).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E9 — §6.2: the one-time cost of dynamic subcontract discovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spring_bench::fixtures::{ctx_on, PingServant, PINGER_TYPE};
+use spring_kernel::Kernel;
+use spring_subcontracts::{standard_library, Simplex, Singleton};
+use std::sync::Arc;
+use subcontract::{
+    ship_object_copy, DomainCtx, KernelTransport, LibraryStore, MapLibraryNames, ServerSubcontract,
+};
+
+fn bench(c: &mut Criterion) {
+    let kernel = Kernel::new("e9");
+    let server = ctx_on(&kernel, "server");
+    let obj = Simplex.export(&server, Arc::new(PingServant)).unwrap();
+
+    let store = LibraryStore::new();
+    store.install("standard.so", "/usr/lib/subcontracts", standard_library());
+
+    let mut group = c.benchmark_group("e9_discovery");
+
+    group.bench_function("cold_unmarshal_with_dynamic_link", |b| {
+        b.iter_with_setup(
+            || {
+                let fresh = DomainCtx::new(kernel.create_domain("fresh"));
+                fresh.register_subcontract(Singleton::new());
+                fresh.types().register(&PINGER_TYPE);
+                let names = MapLibraryNames::new();
+                names.bind(Simplex::ID, "standard.so");
+                fresh.configure_loader(store.clone(), vec!["/usr/lib/subcontracts".into()]);
+                fresh.set_library_names(names);
+                fresh
+            },
+            |fresh| {
+                ship_object_copy(&KernelTransport, &obj, &fresh, &PINGER_TYPE)
+                    .unwrap()
+                    .consume()
+                    .unwrap();
+            },
+        )
+    });
+
+    let warm = ctx_on(&kernel, "warm");
+    group.bench_function("warm_unmarshal_registry_hit", |b| {
+        b.iter(|| {
+            ship_object_copy(&KernelTransport, &obj, &warm, &PINGER_TYPE)
+                .unwrap()
+                .consume()
+                .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! `report` — regenerates every evaluation table of the paper.
+//!
+//! Usage: `cargo run --release -p spring-bench --bin report [--quick]`
+//!
+//! One section per experiment from DESIGN.md §4 (E1–E12). Timings are
+//! machine-dependent; the accompanying counters (doors created, messages
+//! sent, bytes copied) are not, and EXPERIMENTS.md records both.
+
+use spring_bench::report;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters: u64 = if quick { 2_000 } else { 50_000 };
+
+    println!("Subcontract evaluation reproduction (paper: Hamilton/Powell/Mitchell, SOSP 1993)");
+    println!(
+        "iterations per timed loop: {iters}{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    report::e1_null_call(iters);
+    report::e2_transmit(iters);
+    report::e3_cluster();
+    report::e4_caching();
+    report::e4b_unmarshal_overhead(iters);
+    report::e5_replicon(iters);
+    report::e6_reconnect();
+    report::e7_marshal_copy(iters);
+    report::e8_shmem(if quick { 200 } else { 2_000 });
+    report::e9_discovery(iters);
+    report::e11_compat(iters);
+    report::e12_local(iters);
+    report::e13_stream(if quick { 500 } else { 10_000 });
+
+    println!();
+    println!("done.");
+}

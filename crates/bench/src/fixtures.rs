@@ -1,0 +1,182 @@
+//! Benchmark servants, stubs, and the specialized ("fused") call path.
+
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use spring_kernel::{CallCtx, Domain, DoorError, DoorHandler, DoorId, Kernel, Message};
+use spring_subcontracts::register_standard;
+use subcontract::{
+    decode_reply_status, encode_ok, op_hash, Dispatch, DomainCtx, ReplyStatus, Result, ServerCtx,
+    SpringError, SpringObj, TypeInfo, OBJECT_TYPE, STATUS_OK,
+};
+
+/// The benchmark interface's type.
+pub static PINGER_TYPE: TypeInfo = TypeInfo {
+    name: "pinger",
+    parents: &[&OBJECT_TYPE],
+    default_subcontract: spring_subcontracts::Singleton::ID,
+};
+
+/// Null operation: no arguments, no results.
+pub const OP_PING: u32 = op_hash("ping");
+/// Echo operation: bytes in, the same bytes out.
+pub const OP_ECHO: u32 = op_hash("echo");
+
+/// The benchmark servant.
+#[derive(Debug, Default)]
+pub struct PingServant;
+
+impl Dispatch for PingServant {
+    fn type_info(&self) -> &'static TypeInfo {
+        &PINGER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        match op {
+            x if x == OP_PING => {
+                encode_ok(reply);
+                Ok(())
+            }
+            x if x == OP_ECHO => {
+                let payload = args.get_bytes()?;
+                encode_ok(reply);
+                reply.put_bytes(&payload);
+                Ok(())
+            }
+            other => Err(SpringError::UnknownOp(other)),
+        }
+    }
+}
+
+/// Creates a domain with the standard subcontracts and benchmark type.
+pub fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    ctx.types().register(&PINGER_TYPE);
+    ctx
+}
+
+/// The general stub path for `ping` (works with any subcontract).
+pub fn ping(obj: &SpringObj) -> Result<()> {
+    let call = obj.start_call(OP_PING)?;
+    let mut reply = obj.invoke(call)?;
+    match decode_reply_status(&mut reply)? {
+        ReplyStatus::Ok => Ok(()),
+        ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
+    }
+}
+
+/// The general stub path for `echo`.
+pub fn echo(obj: &SpringObj, payload: &[u8]) -> Result<Vec<u8>> {
+    let mut call = obj.start_call(OP_ECHO)?;
+    call.put_bytes(payload);
+    let mut reply = obj.invoke(call)?;
+    match decode_reply_status(&mut reply)? {
+        ReplyStatus::Ok => Ok(reply.get_bytes()?),
+        ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
+    }
+}
+
+/// The no-RPC baseline: a door whose handler does nothing, called with an
+/// empty message — what a minimal kernel IPC round costs.
+pub struct RawDoor {
+    /// Calling domain.
+    pub domain: Domain,
+    /// Identifier owned by the calling domain.
+    pub door: DoorId,
+}
+
+struct NullHandler;
+
+impl DoorHandler for NullHandler {
+    fn invoke(&self, _ctx: &CallCtx, _msg: Message) -> std::result::Result<Message, DoorError> {
+        Ok(Message::new())
+    }
+}
+
+impl RawDoor {
+    /// Sets up the baseline between two fresh domains.
+    pub fn new(kernel: &Kernel) -> RawDoor {
+        let server = kernel.create_domain("raw-server");
+        let client = kernel.create_domain("raw-client");
+        let door = server
+            .create_door(Arc::new(NullHandler))
+            .expect("create door");
+        let door = server.transfer_door(door, &client).expect("transfer");
+        RawDoor {
+            domain: client,
+            door,
+        }
+    }
+
+    /// One null kernel call.
+    pub fn call(&self) -> std::result::Result<(), DoorError> {
+        self.domain.call(self.door, Message::new())?;
+        Ok(())
+    }
+}
+
+/// The §9.1 *specialized stubs* path: client and server stubs fused for the
+/// (pinger, simplex) pair. No trait objects, no generic marshalling — the
+/// wire bytes are written and parsed inline, trading flexibility for speed
+/// exactly as the paper anticipates.
+pub struct FusedPing {
+    /// Calling domain.
+    pub domain: Domain,
+    /// Identifier for the specialized server door.
+    pub door: DoorId,
+}
+
+/// Server half of the fused pair: parses the simplex wire format directly.
+struct FusedServerHandler;
+
+impl DoorHandler for FusedServerHandler {
+    fn invoke(&self, _ctx: &CallCtx, msg: Message) -> std::result::Result<Message, DoorError> {
+        // Wire: [ctrl u8][pad x3][op u32]. Specialized: assume ping.
+        if msg.bytes.len() < 8 {
+            return Err(DoorError::Handler("short fused request".into()));
+        }
+        let op = u32::from_le_bytes(msg.bytes[4..8].try_into().expect("4 bytes"));
+        if op != OP_PING {
+            return Err(DoorError::Handler("fused stub only serves ping".into()));
+        }
+        // Reply: [ctrl u8][status u8].
+        Ok(Message::from_bytes(vec![0, STATUS_OK]))
+    }
+}
+
+impl FusedPing {
+    /// Sets up the fused pair between two fresh domains.
+    pub fn new(kernel: &Kernel) -> FusedPing {
+        let server = kernel.create_domain("fused-server");
+        let client = kernel.create_domain("fused-client");
+        let door = server
+            .create_door(Arc::new(FusedServerHandler))
+            .expect("create door");
+        let door = server.transfer_door(door, &client).expect("transfer");
+        FusedPing {
+            domain: client,
+            door,
+        }
+    }
+
+    /// One fused ping: specialized client stub, no indirect calls.
+    pub fn call(&self) -> std::result::Result<(), DoorError> {
+        let mut bytes = Vec::with_capacity(8);
+        bytes.push(0); // Simplex control byte.
+        bytes.extend_from_slice(&[0, 0, 0]); // Alignment padding.
+        bytes.extend_from_slice(&OP_PING.to_le_bytes());
+        let reply = self.domain.call(self.door, Message::from_bytes(bytes))?;
+        if reply.bytes.first() == Some(&0) && reply.bytes.get(1) == Some(&STATUS_OK) {
+            Ok(())
+        } else {
+            Err(DoorError::Handler("bad fused reply".into()))
+        }
+    }
+}

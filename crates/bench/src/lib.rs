@@ -1,0 +1,10 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every experiment from DESIGN.md §4 (E1–E12) is driven twice: by a
+//! Criterion bench under `benches/` (wall-clock distributions) and by the
+//! `report` binary (deterministic, hardware-independent counters plus quick
+//! timings), whose output is recorded in EXPERIMENTS.md.
+
+pub mod fixtures;
+pub mod report;
+pub mod timing;

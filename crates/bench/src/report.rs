@@ -1,0 +1,774 @@
+//! The experiment harness behind the `report` binary.
+//!
+//! One function per experiment from DESIGN.md §4; each prints a table of
+//! measured timings *and* hardware-independent counters (kernel door
+//! counts, network message counts), which is what EXPERIMENTS.md records
+//! against the paper's claims.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spring_kernel::Kernel;
+use spring_naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring_net::{NetConfig, Network};
+use spring_services::{file_cache_manager, fs, FileServer};
+use spring_subcontracts::{
+    standard_library, Caching, Cluster, ClusterServer, Reconnectable, ReplicaGroup, Replicon,
+    RepliconServer, RetryPolicy, Shmem, Simplex, Singleton,
+};
+use subcontract::{
+    ship_object, ship_object_copy, unmarshal_object, DomainCtx, KernelTransport, LibraryStore,
+    MapLibraryNames, ServerSubcontract, SpringObj,
+};
+
+use spring_subcontracts::stream::{FrameOutcome, Stream};
+
+use crate::fixtures::{ctx_on, echo, ping, FusedPing, PingServant, RawDoor, PINGER_TYPE};
+use crate::timing::{fmt_ns, ns_per_iter, time_once};
+
+fn servant() -> Arc<PingServant> {
+    Arc::new(PingServant)
+}
+
+fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// E1 + E10 — §9.3: the cost a subcontract adds to a minimal remote call,
+/// and §9.1's specialized-stub escape hatch.
+pub fn e1_null_call(iters: u64) {
+    header("E1/E10: minimal cross-domain call (paper §9.3, §9.1)");
+    let kernel = Kernel::new("e1");
+
+    let raw = RawDoor::new(&kernel);
+    let raw_ns = ns_per_iter(iters, || raw.call().unwrap());
+
+    let fused = FusedPing::new(&kernel);
+    let fused_ns = ns_per_iter(iters, || fused.call().unwrap());
+
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    let obj = Singleton.export(&server, servant()).unwrap();
+    let singleton_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    let singleton_ns = ns_per_iter(iters, || ping(&singleton_obj).unwrap());
+
+    let obj = Simplex.export(&server, servant()).unwrap();
+    let simplex_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    let simplex_ns = ns_per_iter(iters, || ping(&simplex_obj).unwrap());
+
+    println!(
+        "{:<34} {:>12} {:>24}",
+        "arm", "ns/call", "extra indirect calls"
+    );
+    println!(
+        "{:<34} {:>12} {:>24}",
+        "raw kernel door (no RPC)",
+        fmt_ns(raw_ns),
+        "0"
+    );
+    println!(
+        "{:<34} {:>12} {:>24}",
+        "specialized fused stubs (§9.1)",
+        fmt_ns(fused_ns),
+        "0"
+    );
+    println!(
+        "{:<34} {:>12} {:>24}",
+        "general stubs + singleton",
+        fmt_ns(singleton_ns),
+        "2 client + 1 server"
+    );
+    println!(
+        "{:<34} {:>12} {:>24}",
+        "general stubs + simplex",
+        fmt_ns(simplex_ns),
+        "2 client + 2 server"
+    );
+    println!(
+        "subcontract overhead vs raw: singleton +{}, simplex +{} (paper: < 2 µs on a SPARCstation 2)",
+        fmt_ns(singleton_ns - raw_ns),
+        fmt_ns(simplex_ns - raw_ns)
+    );
+    println!(
+        "specialization wins back {} of the {} general-stub cost",
+        fmt_ns(simplex_ns - fused_ns),
+        fmt_ns(simplex_ns - raw_ns)
+    );
+}
+
+/// E2 — §9.3: the cost of transmitting an object (marshal + unmarshal +
+/// subcontract ID) versus transmitting a bare door identifier.
+pub fn e2_transmit(iters: u64) {
+    header("E2: object transmission (paper §9.3)");
+    let kernel = Kernel::new("e2");
+    let a = ctx_on(&kernel, "a");
+    let b = ctx_on(&kernel, "b");
+
+    // Baseline: move a bare identifier back and forth.
+    let raw = {
+        let door = a
+            .domain()
+            .create_door(Arc::new(|_: &spring_kernel::CallCtx, m| Ok(m)))
+            .unwrap();
+        let mut held_by_a = true;
+        let mut current = door;
+        ns_per_iter(iters, || {
+            current = if held_by_a {
+                a.domain().transfer_door(current, b.domain()).unwrap()
+            } else {
+                b.domain().transfer_door(current, a.domain()).unwrap()
+            };
+            held_by_a = !held_by_a;
+        })
+    };
+
+    // Full subcontract transmission of a singleton object.
+    let server = ctx_on(&kernel, "server");
+    let obj = Singleton.export(&server, servant()).unwrap();
+    let mut slot = Some(ship_object(&KernelTransport, obj, &a, &PINGER_TYPE).unwrap());
+    let mut held_by_a = true;
+    let marshalled_size = {
+        let mut buf = spring_buf::CommBuffer::new();
+        slot.as_ref().unwrap().marshal_copy(&mut buf).unwrap();
+        let msg = buf.into_message();
+        // Clean up the probe copy.
+        let mut rb = spring_buf::CommBuffer::from_message(msg);
+        let len = rb.len();
+        unmarshal_object(&a, &PINGER_TYPE, &mut rb)
+            .unwrap()
+            .consume()
+            .unwrap();
+        len
+    };
+    let full = ns_per_iter(iters, || {
+        let obj = slot.take().unwrap();
+        let to = if held_by_a { &b } else { &a };
+        slot = Some(ship_object(&KernelTransport, obj, to, &PINGER_TYPE).unwrap());
+        held_by_a = !held_by_a;
+    });
+
+    println!("{:<44} {:>12}", "arm", "ns/transmit");
+    println!(
+        "{:<44} {:>12}",
+        "bare door identifier (kernel transfer)",
+        fmt_ns(raw)
+    );
+    println!(
+        "{:<44} {:>12}",
+        "singleton object (marshal+unmarshal+ID)",
+        fmt_ns(full)
+    );
+    println!(
+        "subcontract machinery adds {} per transmission; marshalled form is {marshalled_size} bytes \
+         (subcontract ID + type name + door slot)",
+        fmt_ns(full - raw)
+    );
+}
+
+/// E3 — §8.1: cluster shares one kernel door among N objects.
+pub fn e3_cluster() {
+    header("E3: cluster vs simplex resource usage (paper §8.1)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>14} {:>14}",
+        "objects", "simplex doors", "cluster doors", "simplex µs", "cluster µs"
+    );
+    for n in [1usize, 10, 100, 1000, 10000] {
+        let kernel = Kernel::new("e3");
+        let server = ctx_on(&kernel, "server");
+
+        let before = kernel.stats();
+        let mut simplex_objs = Vec::with_capacity(n);
+        let simplex_time = time_once(|| {
+            for _ in 0..n {
+                simplex_objs.push(Simplex.export(&server, servant()).unwrap());
+            }
+        });
+        let simplex_doors = kernel.stats().since(&before).doors_created;
+
+        let before = kernel.stats();
+        let cluster = ClusterServer::new(&server).unwrap();
+        let mut cluster_objs = Vec::with_capacity(n);
+        let cluster_time = time_once(|| {
+            for _ in 0..n {
+                cluster_objs.push(cluster.export(servant()).unwrap());
+            }
+        });
+        let cluster_doors = kernel.stats().since(&before).doors_created;
+
+        // Both remain invocable.
+        ping(&simplex_objs[0]).unwrap();
+        ping(&cluster_objs[0]).unwrap();
+
+        println!(
+            "{:>8} {:>16} {:>16} {:>14.1} {:>14.1}",
+            n,
+            simplex_doors,
+            cluster_doors,
+            simplex_time.as_secs_f64() * 1e6,
+            cluster_time.as_secs_f64() * 1e6
+        );
+    }
+    println!("(cluster's door count is O(1); per-object cost is an identifier + a tag)");
+}
+
+/// E4 — §8.2/§9.3: caching pays at unmarshal, wins on repeated reads.
+pub fn e4_caching() {
+    header("E4: caching vs simplex over the network (paper §8.2, §9.3)");
+    println!(
+        "{:>10} {:>6} {:>14} {:>14} {:>10} {:>10}",
+        "latency", "reads", "simplex", "caching", "sx msgs", "ca msgs"
+    );
+    for latency_us in [0u64, 100, 1000] {
+        for k in [1u32, 4, 16, 64, 256] {
+            let net = Network::new(NetConfig::with_latency(Duration::from_micros(latency_us)));
+            let server_node = net.add_node("server");
+            let client_node = net.add_node("client");
+            let server_ctx = ctx_on(server_node.kernel(), "fileserver");
+            let client_ctx = ctx_on(client_node.kernel(), "client");
+            let mgr_ctx = ctx_on(client_node.kernel(), "manager");
+            let ns_ctx = ctx_on(client_node.kernel(), "naming");
+
+            let ns = NameServer::new(&ns_ctx);
+            let manager = file_cache_manager(&mgr_ctx);
+            let mgr_names = NameClient::from_obj(
+                ship_object(
+                    &*net,
+                    ns.root_object().unwrap(),
+                    &mgr_ctx,
+                    &NAMING_CONTEXT_TYPE,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            mgr_names
+                .bind("cache_manager", &manager.export().unwrap())
+                .unwrap();
+            let client_names = NameClient::from_obj(
+                ship_object(
+                    &*net,
+                    ns.root_object().unwrap(),
+                    &client_ctx,
+                    &NAMING_CONTEXT_TYPE,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            client_ctx.set_resolver(Arc::new(client_names));
+
+            let fileserver = FileServer::new(&server_ctx, "cache_manager");
+            fileserver.put("data", &vec![9u8; 4096]);
+
+            // Simplex arm: unmarshal + K reads, all remote.
+            let before = net.stats();
+            let simplex_time = time_once(|| {
+                let f = fs::File::from_obj(
+                    ship_object(
+                        &*net,
+                        fileserver.export_file("data").unwrap(),
+                        &client_ctx,
+                        &fs::FILE_TYPE,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+                for _ in 0..k {
+                    let _ = f.read(0, 1024).unwrap();
+                }
+            });
+            let sx_msgs = net.stats().since(&before).messages;
+
+            // Caching arm: expensive unmarshal (attach), then local reads.
+            let before = net.stats();
+            let caching_time = time_once(|| {
+                let f = fs::CacheableFile::from_obj(
+                    ship_object(
+                        &*net,
+                        fileserver.export_cacheable("data").unwrap(),
+                        &client_ctx,
+                        &fs::CACHEABLE_FILE_TYPE,
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+                for _ in 0..k {
+                    let _ = f.read(0, 1024).unwrap();
+                }
+            });
+            let ca_msgs = net.stats().since(&before).messages;
+
+            println!(
+                "{:>8}µs {:>6} {:>14} {:>14} {:>10} {:>10}",
+                latency_us,
+                k,
+                fmt_ns(simplex_time.as_nanos() as f64),
+                fmt_ns(caching_time.as_nanos() as f64),
+                sx_msgs,
+                ca_msgs
+            );
+        }
+    }
+    println!("(caching messages stay flat in K: only the first read misses)");
+}
+
+/// E5 — §5.1.3: replicon failover deletes dead doors and keeps serving.
+pub fn e5_replicon(iters: u64) {
+    header("E5: replicon failover (paper §5.1.3)");
+    println!(
+        "{:>9} {:>14} {:>9} {:>18} {:>16}",
+        "replicas", "normal", "killed", "failover call", "doors after"
+    );
+    for r in [1usize, 2, 3, 5] {
+        let kernel = Kernel::new("e5");
+        let group = ReplicaGroup::new();
+        let mut ctxs = Vec::new();
+        for i in 0..r {
+            let ctx = ctx_on(&kernel, &format!("replica-{i}"));
+            group
+                .add(RepliconServer::new(&ctx, servant()).unwrap())
+                .unwrap();
+            ctxs.push(ctx);
+        }
+        let client = ctx_on(&kernel, "client");
+        let obj = group.object_for(&client).unwrap();
+
+        let normal = ns_per_iter(iters, || ping(&obj).unwrap());
+
+        // Kill all but the last replica; the next call walks the dead ones.
+        let killed = r - 1;
+        for ctx in ctxs.iter().take(killed) {
+            ctx.domain().crash();
+        }
+        let failover = time_once(|| ping(&obj).unwrap());
+        let after = Replicon::live_replicas(&obj).unwrap();
+
+        println!(
+            "{:>9} {:>14} {:>9} {:>18} {:>16}",
+            r,
+            fmt_ns(normal),
+            killed,
+            fmt_ns(failover.as_nanos() as f64),
+            after
+        );
+    }
+    println!("(only the failover call pays; dead identifiers are deleted from the set)");
+}
+
+/// E6 — §8.3: reconnect latency is governed by the retry interval.
+pub fn e6_reconnect() {
+    header("E6: reconnectable recovery (paper §8.3)");
+    println!(
+        "{:>15} {:>16} {:>18}",
+        "retry interval", "outage", "call recovers in"
+    );
+    for interval_ms in [1u64, 5, 20] {
+        let kernel = Kernel::new("e6");
+        let policy = RetryPolicy {
+            max_attempts: 500,
+            interval: Duration::from_millis(interval_ms),
+        };
+
+        let names = Arc::new(parking_lot::Mutex::new(std::collections::HashMap::<
+            String,
+            SpringObj,
+        >::new()));
+        // A minimal resolver over the shared map.
+        struct MapResolver {
+            names: Arc<parking_lot::Mutex<std::collections::HashMap<String, SpringObj>>>,
+            ctx: Arc<DomainCtx>,
+        }
+        impl subcontract::Resolver for MapResolver {
+            fn resolve(
+                &self,
+                name: &str,
+                expected: &'static subcontract::TypeInfo,
+            ) -> subcontract::Result<SpringObj> {
+                let guard = self.names.lock();
+                let obj = guard
+                    .get(name)
+                    .ok_or_else(|| subcontract::SpringError::ResolveFailed(name.to_owned()))?;
+                ship_object_copy(&KernelTransport, obj, &self.ctx, expected)
+            }
+        }
+
+        let gen1 = ctx_on(&kernel, "gen1");
+        gen1.register_subcontract(Reconnectable::with_policy(policy));
+        let obj = Reconnectable::export(&gen1, servant(), "svc").unwrap();
+        names.lock().insert("svc".into(), obj.copy().unwrap());
+
+        let client = ctx_on(&kernel, "client");
+        client.register_subcontract(Reconnectable::with_policy(policy));
+        let client_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+        client.set_resolver(Arc::new(MapResolver {
+            names: names.clone(),
+            ctx: client.clone(),
+        }));
+        ping(&client_obj).unwrap();
+
+        // Crash, then restart after a fixed 10 ms outage from a helper
+        // thread while the client's call retries.
+        gen1.domain().crash();
+        names.lock().remove("svc");
+        let outage = Duration::from_millis(10);
+        let kernel2 = kernel.clone();
+        let names2 = names.clone();
+        let restarter = std::thread::spawn(move || {
+            std::thread::sleep(outage);
+            let gen2 = ctx_on(&kernel2, "gen2");
+            gen2.register_subcontract(Reconnectable::with_policy(policy));
+            let fresh = Reconnectable::export(&gen2, servant(), "svc").unwrap();
+            names2.lock().insert("svc".into(), fresh);
+        });
+        let recover = time_once(|| ping(&client_obj).unwrap());
+        restarter.join().unwrap();
+
+        println!(
+            "{:>13}ms {:>16} {:>18}",
+            interval_ms,
+            "10 ms",
+            fmt_ns(recover.as_nanos() as f64)
+        );
+    }
+    println!("(recovery ≈ outage, quantized by the retry interval)");
+}
+
+/// E7 — §5.1.5: `marshal_copy` optimizes out the intermediate copy.
+pub fn e7_marshal_copy(iters: u64) {
+    header("E7: marshal_copy vs copy-then-marshal (paper §5.1.5)");
+    println!(
+        "{:>22} {:>18} {:>18}",
+        "subcontract", "copy+marshal", "marshal_copy"
+    );
+
+    // Singleton.
+    let kernel = Kernel::new("e7");
+    let server = ctx_on(&kernel, "server");
+    let obj = Singleton.export(&server, servant()).unwrap();
+    let naive = ns_per_iter(iters, || {
+        let copy = obj.copy().unwrap();
+        let mut buf = spring_buf::CommBuffer::new();
+        copy.marshal(&mut buf).unwrap();
+        cleanup(&server, buf);
+    });
+    let optimized = ns_per_iter(iters, || {
+        let mut buf = spring_buf::CommBuffer::new();
+        obj.marshal_copy(&mut buf).unwrap();
+        cleanup(&server, buf);
+    });
+    println!(
+        "{:>22} {:>18} {:>18}",
+        "singleton",
+        fmt_ns(naive),
+        fmt_ns(optimized)
+    );
+
+    // Replicon with three replicas.
+    let group = ReplicaGroup::new();
+    for i in 0..3 {
+        let ctx = ctx_on(&kernel, &format!("r{i}"));
+        group
+            .add(RepliconServer::new(&ctx, servant()).unwrap())
+            .unwrap();
+    }
+    let robj = group.object_for(&server).unwrap();
+    let naive = ns_per_iter(iters, || {
+        let copy = robj.copy().unwrap();
+        let mut buf = spring_buf::CommBuffer::new();
+        copy.marshal(&mut buf).unwrap();
+        cleanup(&server, buf);
+    });
+    let optimized = ns_per_iter(iters, || {
+        let mut buf = spring_buf::CommBuffer::new();
+        robj.marshal_copy(&mut buf).unwrap();
+        cleanup(&server, buf);
+    });
+    println!(
+        "{:>22} {:>18} {:>18}",
+        "replicon (3 doors)",
+        fmt_ns(naive),
+        fmt_ns(optimized)
+    );
+}
+
+/// Deletes the identifiers a probe marshal produced, so loops do not leak.
+fn cleanup(ctx: &Arc<DomainCtx>, buf: spring_buf::CommBuffer) {
+    let msg = buf.into_message();
+    for d in msg.doors {
+        let _ = ctx.domain().delete_door(d);
+    }
+}
+
+/// E8 — §5.1.4: shared memory skips the kernel's payload copy.
+pub fn e8_shmem(iters: u64) {
+    header("E8: shmem vs simplex payload transport (paper §5.1.4)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>16} {:>16}",
+        "payload", "simplex", "shmem", "sx copied", "shm copied"
+    );
+    for size in [64usize, 1024, 16 * 1024, 64 * 1024, 256 * 1024] {
+        let kernel = Kernel::new("e8");
+        let server = ctx_on(&kernel, "server");
+        let client = ctx_on(&kernel, "client");
+        let payload = vec![0xAAu8; size];
+
+        let obj = Simplex.export(&server, servant()).unwrap();
+        let sx = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+        let before = kernel.stats();
+        let sx_ns = ns_per_iter(iters, || {
+            let _ = echo(&sx, &payload).unwrap();
+        });
+        let sx_copied = kernel.stats().since(&before).bytes_copied / (iters + (iters / 10).max(1));
+
+        let obj = Shmem::export(&server, servant(), size + 4096).unwrap();
+        let sh = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+        let before = kernel.stats();
+        let sh_ns = ns_per_iter(iters, || {
+            let _ = echo(&sh, &payload).unwrap();
+        });
+        let sh_copied = kernel.stats().since(&before).bytes_copied / (iters + (iters / 10).max(1));
+
+        println!(
+            "{:>10} {:>14} {:>14} {:>16} {:>16}",
+            size,
+            fmt_ns(sx_ns),
+            fmt_ns(sh_ns),
+            sx_copied,
+            sh_copied
+        );
+    }
+    println!("(request payloads cross in shared memory; replies use the ordinary path)");
+}
+
+/// E9 — §6.2: the dynamic-discovery cost is paid exactly once.
+pub fn e9_discovery(iters: u64) {
+    header("E9: dynamic subcontract discovery (paper §6.2)");
+    let kernel = Kernel::new("e9");
+    let server = ctx_on(&kernel, "server");
+    let obj = Simplex.export(&server, servant()).unwrap();
+
+    let store = LibraryStore::new();
+    store.install("standard.so", "/usr/lib/subcontracts", standard_library());
+
+    // Cold: a freshly "linked" program that only knows singleton; every
+    // iteration pays registry miss + naming lookup + dynamic link.
+    let cold = ns_per_iter(iters.min(2000), || {
+        let fresh = DomainCtx::new(kernel.create_domain("fresh"));
+        fresh.register_subcontract(Singleton::new());
+        fresh.types().register(&PINGER_TYPE);
+        let names = MapLibraryNames::new();
+        names.bind(Simplex::ID, "standard.so");
+        fresh.configure_loader(store.clone(), vec!["/usr/lib/subcontracts".into()]);
+        fresh.set_library_names(names);
+        let copy = ship_object_copy(&KernelTransport, &obj, &fresh, &PINGER_TYPE).unwrap();
+        copy.consume().unwrap();
+    });
+
+    // Warm: the same flow with the subcontract already registered.
+    let warm_ctx = ctx_on(&kernel, "warm");
+    let warm = ns_per_iter(iters, || {
+        let copy = ship_object_copy(&KernelTransport, &obj, &warm_ctx, &PINGER_TYPE).unwrap();
+        copy.consume().unwrap();
+    });
+
+    println!("{:<50} {:>12}", "arm", "ns/unmarshal");
+    println!(
+        "{:<50} {:>12}",
+        "cold (registry miss + naming + dynamic link)",
+        fmt_ns(cold)
+    );
+    println!("{:<50} {:>12}", "warm (registry hit)", fmt_ns(warm));
+    println!("(after the first load the library is registered; see compat tests)");
+}
+
+/// E11 — §6.1: the compatible-subcontract re-dispatch is cheap.
+pub fn e11_compat(iters: u64) {
+    header("E11: compatible-subcontract re-dispatch (paper §6.1)");
+    let kernel = Kernel::new("e11");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    // PINGER_TYPE defaults to singleton; a singleton object matches the
+    // expected subcontract, a simplex object triggers the re-dispatch.
+    let matching = Singleton.export(&server, servant()).unwrap();
+    let foreign = Simplex.export(&server, servant()).unwrap();
+
+    let match_ns = ns_per_iter(iters, || {
+        let copy = ship_object_copy(&KernelTransport, &matching, &client, &PINGER_TYPE).unwrap();
+        copy.consume().unwrap();
+    });
+    let foreign_ns = ns_per_iter(iters, || {
+        let copy = ship_object_copy(&KernelTransport, &foreign, &client, &PINGER_TYPE).unwrap();
+        copy.consume().unwrap();
+    });
+
+    println!("{:<44} {:>12}", "arm", "ns/unmarshal");
+    println!(
+        "{:<44} {:>12}",
+        "expected subcontract (singleton)",
+        fmt_ns(match_ns)
+    );
+    println!(
+        "{:<44} {:>12}",
+        "foreign subcontract (simplex, re-dispatch)",
+        fmt_ns(foreign_ns)
+    );
+    println!("re-dispatch overhead: {}", fmt_ns(foreign_ns - match_ns));
+}
+
+/// E12 — §5.2.1: the same-address-space fast path.
+pub fn e12_local(iters: u64) {
+    header("E12: same-address-space fast path (paper §5.2.1)");
+    let kernel = Kernel::new("e12");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    let before = kernel.stats();
+    let local = Simplex::export_local(&server, servant()).unwrap();
+    let local_doors = kernel.stats().since(&before).doors_created;
+    let local_ns = ns_per_iter(iters, || ping(&local).unwrap());
+
+    let before = kernel.stats();
+    let remote_obj = Simplex.export(&server, servant()).unwrap();
+    let remote = ship_object(&KernelTransport, remote_obj, &client, &PINGER_TYPE).unwrap();
+    let remote_doors = kernel.stats().since(&before).doors_created;
+    let remote_ns = ns_per_iter(iters, || ping(&remote).unwrap());
+
+    println!("{:<34} {:>12} {:>14}", "arm", "ns/call", "doors created");
+    println!(
+        "{:<34} {:>12} {:>14}",
+        "local fast path",
+        fmt_ns(local_ns),
+        local_doors
+    );
+    println!(
+        "{:<34} {:>12} {:>14}",
+        "cross-domain simplex",
+        fmt_ns(remote_ns),
+        remote_doors
+    );
+
+    // The lazy door appears only when the object is first marshalled.
+    let before = kernel.stats();
+    let moved = ship_object(&KernelTransport, local, &client, &PINGER_TYPE).unwrap();
+    println!(
+        "first marshal of the local object created {} door(s); it still works remotely: {:?}",
+        kernel.stats().since(&before).doors_created,
+        ping(&moved).is_ok()
+    );
+}
+
+/// The caching subcontract's unmarshal overhead in isolation (§9.3's
+/// "significant overhead to object unmarshalling"), complementing E4.
+pub fn e4b_unmarshal_overhead(iters: u64) {
+    header("E4b: unmarshal cost by subcontract (paper §9.3)");
+    let kernel = Kernel::new("e4b");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    let mgr_ctx = ctx_on(&kernel, "manager");
+
+    // Machine-local resolver for the caching arm.
+    let manager = spring_subcontracts::CacheManager::new(&mgr_ctx, [crate::fixtures::OP_PING]);
+    let mgr_obj = manager.export().unwrap();
+    struct OneName {
+        obj: SpringObj,
+        ctx: Arc<DomainCtx>,
+    }
+    impl subcontract::Resolver for OneName {
+        fn resolve(
+            &self,
+            name: &str,
+            expected: &'static subcontract::TypeInfo,
+        ) -> subcontract::Result<SpringObj> {
+            if name == "cache_manager" {
+                ship_object_copy(&KernelTransport, &self.obj, &self.ctx, expected)
+            } else {
+                Err(subcontract::SpringError::ResolveFailed(name.to_owned()))
+            }
+        }
+    }
+    client.set_resolver(Arc::new(OneName {
+        obj: mgr_obj,
+        ctx: client.clone(),
+    }));
+
+    let singleton = Singleton.export(&server, servant()).unwrap();
+    let caching = Caching::export(&server, servant(), "cache_manager").unwrap();
+    let cluster_server = ClusterServer::new(&server).unwrap();
+    let cluster = cluster_server.export(servant()).unwrap();
+
+    for (name, obj) in [
+        ("singleton", &singleton),
+        ("cluster", &cluster),
+        ("caching (attaches to manager)", &caching),
+    ] {
+        let ns = ns_per_iter(iters.min(5000), || {
+            let copy = ship_object_copy(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+            copy.consume().unwrap();
+        });
+        println!("{:<34} {:>12}", name, fmt_ns(ns));
+    }
+    let _ = Cluster::ID;
+}
+
+/// E13 (extension, §8.4 video direction) — frame delivery vs request/reply
+/// for media payloads, and behaviour under loss.
+pub fn e13_stream(iters: u64) {
+    header("E13: stream frames vs request/reply (paper §8.4, extension)");
+    let kernel = Kernel::new("e13");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    server.register_subcontract(Stream::new());
+    client.register_subcontract(Stream::new());
+
+    let frame = vec![0u8; 8 * 1024];
+
+    let obj = Simplex.export(&server, servant()).unwrap();
+    let simplex_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    let rr = ns_per_iter(iters, || {
+        let _ = echo(&simplex_obj, &frame).unwrap();
+    });
+
+    let (obj, _stats) =
+        Stream::export(&server, servant(), Arc::new(|_: u64, _: &[u8]| {})).unwrap();
+    let stream_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    let fr = ns_per_iter(iters, || {
+        Stream::send_frame(&stream_obj, &frame).unwrap();
+    });
+
+    println!("{:<42} {:>12}", "arm (8 KiB frames)", "ns/frame");
+    println!("{:<42} {:>12}", "request/reply echo (simplex)", fmt_ns(rr));
+    println!(
+        "{:<42} {:>12}",
+        "fire-and-forget frame (stream)",
+        fmt_ns(fr)
+    );
+
+    // Loss behaviour over the network: frames drop, calls error.
+    let net = spring_net::Network::new(spring_net::NetConfig {
+        drop_prob: 0.25,
+        ..Default::default()
+    });
+    net.reseed(11);
+    let a = net.add_node("cam");
+    let b = net.add_node("tv");
+    let cam = ctx_on(a.kernel(), "cam");
+    let tv = ctx_on(b.kernel(), "tv");
+    cam.register_subcontract(Stream::new());
+    tv.register_subcontract(Stream::new());
+    let (obj, stats) = Stream::export(&tv, servant(), Arc::new(|_: u64, _: &[u8]| {})).unwrap();
+    let remote = ship_object(&*net, obj, &cam, &PINGER_TYPE).unwrap();
+    let total = 400u64;
+    let mut dropped = 0u64;
+    for _ in 0..total {
+        if Stream::send_frame(&remote, &frame).unwrap() == FrameOutcome::Dropped {
+            dropped += 1;
+        }
+    }
+    println!(
+        "over a 25%-loss link: {total} frames sent, {dropped} reported dropped, \
+         {} rendered, {} gaps tolerated — zero errors",
+        stats.received(),
+        stats.missing()
+    );
+}

@@ -1,0 +1,546 @@
+//! The communication buffer implementation.
+
+use std::fmt;
+
+use spring_kernel::{DoorId, MappedShm, Message};
+
+use crate::error::BufError;
+
+/// Backing store for a buffer's byte stream.
+enum Backing {
+    /// Ordinary heap memory, copied by the kernel on transmission.
+    Heap(Vec<u8>),
+    /// A mapped shared-memory region; bytes written here are visible to the
+    /// server without a kernel copy.
+    Shm(MappedShm),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Heap(v) => v,
+            Backing::Shm(m) => m,
+        }
+    }
+
+    fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        match self {
+            Backing::Heap(v) => v,
+            Backing::Shm(m) => &mut *m,
+        }
+    }
+}
+
+/// A marshalling buffer: an aligned byte stream plus a capability vector.
+///
+/// Values are written with `put_*` methods and read back in the same order
+/// with the matching `get_*` methods. Primitives are little-endian and
+/// aligned to their natural alignment (capped at 8), mirroring CDR.
+///
+/// The same buffer type serves as call buffer, reply buffer, and marshalled
+/// object container — exactly as in the paper, where subcontract operations
+/// all traffic in "communication buffers".
+pub struct CommBuffer {
+    backing: Backing,
+    /// Read cursor into the byte stream.
+    rpos: usize,
+    /// Out-of-band door identifiers, in slot order.
+    caps: Vec<DoorId>,
+    /// Tracks which capability slots have been consumed by `get_door`.
+    consumed: Vec<bool>,
+}
+
+impl Default for CommBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! prim_impls {
+    ($($put:ident, $get:ident, $ty:ty);* $(;)?) => {
+        $(
+            #[doc = concat!("Appends a `", stringify!($ty), "` (aligned, little-endian).")]
+            pub fn $put(&mut self, v: $ty) {
+                self.align(std::mem::size_of::<$ty>());
+                self.backing.bytes_mut().extend_from_slice(&v.to_le_bytes());
+            }
+
+            #[doc = concat!("Reads the next `", stringify!($ty), "`.")]
+            pub fn $get(&mut self) -> Result<$ty, BufError> {
+                const N: usize = std::mem::size_of::<$ty>();
+                self.skip_align(N)?;
+                let raw = self.take(N)?;
+                let mut arr = [0u8; N];
+                arr.copy_from_slice(raw);
+                Ok(<$ty>::from_le_bytes(arr))
+            }
+        )*
+    };
+}
+
+impl CommBuffer {
+    /// Creates an empty heap-backed buffer.
+    pub fn new() -> Self {
+        CommBuffer {
+            backing: Backing::Heap(Vec::new()),
+            rpos: 0,
+            caps: Vec::new(),
+            consumed: Vec::new(),
+        }
+    }
+
+    /// Creates an empty heap-backed buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        CommBuffer {
+            backing: Backing::Heap(Vec::with_capacity(n)),
+            rpos: 0,
+            caps: Vec::new(),
+            consumed: Vec::new(),
+        }
+    }
+
+    /// Wraps a received kernel message for decoding.
+    pub fn from_message(msg: Message) -> Self {
+        let n = msg.doors.len();
+        CommBuffer {
+            backing: Backing::Heap(msg.bytes),
+            rpos: 0,
+            caps: msg.doors,
+            consumed: vec![false; n],
+        }
+    }
+
+    /// Converts the buffer into a kernel message for transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer was redirected to shared memory; use
+    /// [`CommBuffer::take_shm`] on that path instead.
+    pub fn into_message(self) -> Message {
+        match self.backing {
+            Backing::Heap(bytes) => Message {
+                bytes,
+                doors: self.caps,
+            },
+            Backing::Shm(_) => panic!("shm-backed buffer cannot become a heap message"),
+        }
+    }
+
+    /// Redirects marshalling into a mapped shared-memory region.
+    ///
+    /// Bytes already written are carried over into the region (normally none:
+    /// `invoke_preamble` runs before any argument marshalling, §5.1.4). The
+    /// region's previous contents beyond the carried-over bytes are cleared.
+    pub fn redirect_to_shm(&mut self, mut mapped: MappedShm) -> Result<(), BufError> {
+        match &mut self.backing {
+            Backing::Heap(v) => {
+                mapped.clear();
+                mapped.extend_from_slice(v);
+                self.backing = Backing::Shm(mapped);
+                Ok(())
+            }
+            Backing::Shm(_) => Err(BufError::WrongBacking),
+        }
+    }
+
+    /// Detaches the shared-memory mapping, returning it together with the
+    /// number of marshalled bytes and the capability vector. Dropping the
+    /// returned mapping publishes the bytes to the region.
+    pub fn take_shm(self) -> Result<(MappedShm, usize, Vec<DoorId>), BufError> {
+        match self.backing {
+            Backing::Shm(m) => {
+                let len = m.len();
+                Ok((m, len, self.caps))
+            }
+            Backing::Heap(_) => Err(BufError::WrongBacking),
+        }
+    }
+
+    /// Builds a decoding buffer over a mapped shared-memory region, with
+    /// capabilities delivered out-of-band by the kernel message.
+    pub fn from_shm(mapped: MappedShm, caps: Vec<DoorId>) -> Self {
+        let n = caps.len();
+        CommBuffer {
+            backing: Backing::Shm(mapped),
+            rpos: 0,
+            caps,
+            consumed: vec![false; n],
+        }
+    }
+
+    /// Returns true when the backing store is a shared-memory mapping.
+    pub fn is_shm_backed(&self) -> bool {
+        matches!(self.backing, Backing::Shm(_))
+    }
+
+    /// Total bytes written so far.
+    pub fn len(&self) -> usize {
+        self.backing.bytes().len()
+    }
+
+    /// Returns true when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.backing.bytes().is_empty()
+    }
+
+    /// Bytes not yet consumed by the read cursor.
+    pub fn remaining(&self) -> usize {
+        self.len().saturating_sub(self.rpos)
+    }
+
+    /// Number of capability slots carried by this buffer.
+    pub fn door_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    fn align(&mut self, size: usize) {
+        let align = size.min(8);
+        let v = self.backing.bytes_mut();
+        let pad = (align - (v.len() % align)) % align;
+        v.resize(v.len() + pad, 0);
+    }
+
+    fn skip_align(&mut self, size: usize) -> Result<(), BufError> {
+        let align = size.min(8);
+        let pad = (align - (self.rpos % align)) % align;
+        if self.remaining() < pad {
+            return Err(BufError::OutOfData {
+                needed: pad,
+                remaining: self.remaining(),
+            });
+        }
+        self.rpos += pad;
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], BufError> {
+        if self.remaining() < n {
+            return Err(BufError::OutOfData {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let start = self.rpos;
+        self.rpos += n;
+        Ok(&self.backing.bytes()[start..start + n])
+    }
+
+    prim_impls! {
+        put_u8, get_u8, u8;
+        put_u16, get_u16, u16;
+        put_u32, get_u32, u32;
+        put_u64, get_u64, u64;
+        put_i8, get_i8, i8;
+        put_i16, get_i16, i16;
+        put_i32, get_i32, i32;
+        put_i64, get_i64, i64;
+    }
+
+    /// Appends an `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Reads the next `f32`.
+    pub fn get_f32(&mut self) -> Result<f32, BufError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Appends an `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Reads the next `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, BufError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Appends a boolean as a single byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Reads the next boolean, rejecting bytes other than 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, BufError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(BufError::InvalidBool(b)),
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_string(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.backing.bytes_mut().extend_from_slice(s.as_bytes());
+    }
+
+    /// Reads the next length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, BufError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(BufError::LengthOverrun {
+                claimed: len as u64,
+                limit: self.remaining() as u64,
+            });
+        }
+        let raw = self.take(len)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| BufError::InvalidUtf8)
+    }
+
+    /// Appends a length-prefixed byte sequence (IDL `sequence<octet>`).
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.backing.bytes_mut().extend_from_slice(b);
+    }
+
+    /// Reads the next length-prefixed byte sequence.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, BufError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(BufError::LengthOverrun {
+                claimed: len as u64,
+                limit: self.remaining() as u64,
+            });
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Appends raw bytes with no length prefix (caller manages framing).
+    pub fn put_raw(&mut self, b: &[u8]) {
+        self.backing.bytes_mut().extend_from_slice(b);
+    }
+
+    /// Reads `n` raw bytes with no length prefix.
+    pub fn get_raw(&mut self, n: usize) -> Result<Vec<u8>, BufError> {
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Writes a sequence length prefix, for use with per-element `put_*`.
+    pub fn put_seq_len(&mut self, n: usize) {
+        self.put_u32(n as u32);
+    }
+
+    /// Reads a sequence length prefix, rejecting counts that could not
+    /// possibly fit in the remaining bytes (each element needs at least
+    /// `min_elem_size` bytes). Guards decoders against hostile lengths.
+    pub fn get_seq_len(&mut self, min_elem_size: usize) -> Result<usize, BufError> {
+        let n = self.get_u32()? as usize;
+        let limit = self.remaining() / min_elem_size.max(1);
+        if n > limit {
+            return Err(BufError::LengthOverrun {
+                claimed: n as u64,
+                limit: limit as u64,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Attaches a door identifier to the message's capability vector and
+    /// writes its slot index into the byte stream.
+    pub fn put_door(&mut self, id: DoorId) {
+        let slot = self.caps.len() as u32;
+        self.caps.push(id);
+        self.consumed.push(false);
+        self.put_u32(slot);
+    }
+
+    /// Reads a door slot index and takes the identifier from the capability
+    /// vector. Each slot may be taken only once (identifiers move).
+    pub fn get_door(&mut self) -> Result<DoorId, BufError> {
+        let slot = self.get_u32()?;
+        let idx = slot as usize;
+        if idx >= self.caps.len() || self.consumed[idx] {
+            return Err(BufError::InvalidDoorSlot(slot));
+        }
+        self.consumed[idx] = true;
+        Ok(self.caps[idx])
+    }
+
+    /// Peeks at the `u64` at the current read position without consuming it
+    /// (how a subcontract's unmarshal "takes a peek at the expected
+    /// subcontract identifier in the communications buffer", §6.1).
+    pub fn peek_u64(&self) -> Result<u64, BufError> {
+        let align_pad = (8 - (self.rpos % 8)) % 8;
+        let start = self.rpos + align_pad;
+        let bytes = self.backing.bytes();
+        if start + 8 > bytes.len() {
+            return Err(BufError::OutOfData {
+                needed: align_pad + 8,
+                remaining: self.remaining(),
+            });
+        }
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&bytes[start..start + 8]);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Peeks at the `u32` at the current read position without consuming it.
+    pub fn peek_u32(&self) -> Result<u32, BufError> {
+        let align_pad = (4 - (self.rpos % 4)) % 4;
+        let start = self.rpos + align_pad;
+        let bytes = self.backing.bytes();
+        if start + 4 > bytes.len() {
+            return Err(BufError::OutOfData {
+                needed: align_pad + 4,
+                remaining: self.remaining(),
+            });
+        }
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(&bytes[start..start + 4]);
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Removes and returns all unconsumed door identifiers, for cleanup
+    /// paths that must not leak capabilities.
+    pub fn drain_doors(&mut self) -> Vec<DoorId> {
+        let mut out = Vec::new();
+        for (i, cap) in self.caps.iter().enumerate() {
+            if !self.consumed[i] {
+                self.consumed[i] = true;
+                out.push(*cap);
+            }
+        }
+        out
+    }
+
+    /// Current read offset in bytes (diagnostics).
+    pub fn read_pos(&self) -> usize {
+        self.rpos
+    }
+}
+
+impl fmt::Debug for CommBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CommBuffer({} bytes, rpos {}, {} caps{})",
+            self.len(),
+            self.rpos,
+            self.caps.len(),
+            if self.is_shm_backed() { ", shm" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip_with_alignment() {
+        let mut b = CommBuffer::new();
+        b.put_u8(1);
+        b.put_u64(2); // Forces 7 bytes of padding.
+        b.put_u16(3);
+        b.put_i32(-4);
+        b.put_f64(2.5);
+        b.put_bool(true);
+        b.put_i8(-1);
+
+        assert_eq!(b.get_u8().unwrap(), 1);
+        assert_eq!(b.get_u64().unwrap(), 2);
+        assert_eq!(b.get_u16().unwrap(), 3);
+        assert_eq!(b.get_i32().unwrap(), -4);
+        assert_eq!(b.get_f64().unwrap(), 2.5);
+        assert!(b.get_bool().unwrap());
+        assert_eq!(b.get_i8().unwrap(), -1);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        let mut b = CommBuffer::new();
+        b.put_string("héllo");
+        b.put_bytes(&[1, 2, 3]);
+        b.put_string("");
+        assert_eq!(b.get_string().unwrap(), "héllo");
+        assert_eq!(b.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(b.get_string().unwrap(), "");
+    }
+
+    #[test]
+    fn truncated_reads_fail_cleanly() {
+        let mut b = CommBuffer::new();
+        b.put_u32(0xFFFF_FFFF); // Looks like a huge length prefix.
+        let mut r = CommBuffer::from_message(b.into_message());
+        assert!(matches!(
+            r.get_string().unwrap_err(),
+            BufError::LengthOverrun { .. }
+        ));
+
+        let mut empty = CommBuffer::new();
+        assert!(matches!(
+            empty.get_u64().unwrap_err(),
+            BufError::OutOfData { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut b = CommBuffer::new();
+        b.put_u8(7);
+        assert_eq!(b.get_bool().unwrap_err(), BufError::InvalidBool(7));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut b = CommBuffer::new();
+        b.put_u64(42);
+        b.put_u64(43);
+        assert_eq!(b.peek_u64().unwrap(), 42);
+        assert_eq!(b.peek_u64().unwrap(), 42);
+        assert_eq!(b.get_u64().unwrap(), 42);
+        assert_eq!(b.peek_u64().unwrap(), 43);
+    }
+
+    #[test]
+    fn peek_respects_alignment() {
+        let mut b = CommBuffer::new();
+        b.put_u8(9);
+        b.put_u64(77);
+        assert_eq!(b.get_u8().unwrap(), 9);
+        // rpos is 1; the u64 sits at offset 8.
+        assert_eq!(b.peek_u64().unwrap(), 77);
+        assert_eq!(b.get_u64().unwrap(), 77);
+    }
+
+    #[test]
+    fn peek_u32_respects_alignment_and_does_not_consume() {
+        let mut b = CommBuffer::new();
+        b.put_u8(1);
+        b.put_u32(55);
+        assert_eq!(b.get_u8().unwrap(), 1);
+        assert_eq!(b.peek_u32().unwrap(), 55);
+        assert_eq!(b.peek_u32().unwrap(), 55);
+        assert_eq!(b.get_u32().unwrap(), 55);
+        assert!(matches!(
+            b.peek_u32().unwrap_err(),
+            BufError::OutOfData { .. }
+        ));
+    }
+
+    #[test]
+    fn seq_len_guard() {
+        let mut b = CommBuffer::new();
+        b.put_seq_len(1000);
+        let mut r = CommBuffer::from_message(b.into_message());
+        assert!(matches!(
+            r.get_seq_len(4).unwrap_err(),
+            BufError::LengthOverrun { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let b = CommBuffer::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.remaining(), 0);
+        let d = CommBuffer::default();
+        assert!(d.is_empty());
+    }
+}

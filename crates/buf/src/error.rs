@@ -1,0 +1,82 @@
+//! Marshalling errors.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding a [`crate::CommBuffer`].
+///
+/// Decoding is fully defensive: a malformed or truncated buffer received
+/// from another domain must never panic, only produce one of these errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BufError {
+    /// The buffer ended before the requested value could be read.
+    OutOfData {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A string field did not hold valid UTF-8.
+    InvalidUtf8,
+    /// A boolean field held a byte other than 0 or 1.
+    InvalidBool(u8),
+    /// A door slot index did not refer to a capability in the message, or
+    /// the capability was already consumed.
+    InvalidDoorSlot(u32),
+    /// A length prefix exceeded what the buffer could possibly hold,
+    /// indicating corruption (and guarding against huge allocations).
+    LengthOverrun {
+        /// The claimed element count.
+        claimed: u64,
+        /// The limit implied by the remaining bytes.
+        limit: u64,
+    },
+    /// An enum discriminant did not match any known variant.
+    InvalidEnumTag(u32),
+    /// The operation requires a heap-backed buffer but the buffer had been
+    /// redirected to shared memory (or vice versa).
+    WrongBacking,
+}
+
+impl fmt::Display for BufError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufError::OutOfData { needed, remaining } => {
+                write!(
+                    f,
+                    "buffer exhausted: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            BufError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            BufError::InvalidBool(b) => write!(f, "invalid boolean byte {b:#x}"),
+            BufError::InvalidDoorSlot(i) => write!(f, "invalid or consumed door slot {i}"),
+            BufError::LengthOverrun { claimed, limit } => {
+                write!(f, "length prefix {claimed} exceeds limit {limit}")
+            }
+            BufError::InvalidEnumTag(t) => write!(f, "invalid enum discriminant {t}"),
+            BufError::WrongBacking => write!(f, "operation not valid for this buffer backing"),
+        }
+    }
+}
+
+impl std::error::Error for BufError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = BufError::OutOfData {
+            needed: 8,
+            remaining: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('8') && s.contains('3'));
+        assert!(BufError::LengthOverrun {
+            claimed: 10,
+            limit: 2
+        }
+        .to_string()
+        .contains("10"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Communication buffers for the simulated Spring system.
+//!
+//! Stubs and subcontracts marshal arguments, results, and subcontract
+//! control information into a [`CommBuffer`], which is transmitted across a
+//! domain boundary as a [`spring_kernel::Message`]. The encoding follows a
+//! CDR-like discipline: little-endian primitives aligned to their natural
+//! alignment, length-prefixed strings and byte sequences.
+//!
+//! Door identifiers are never encoded into the byte stream. The kernel must
+//! see every identifier so it can translate it into the receiving domain's
+//! door table, so identifiers travel in the message's out-of-band capability
+//! vector and the byte stream carries only a slot index
+//! ([`CommBuffer::put_door`] / [`CommBuffer::get_door`]).
+//!
+//! A buffer's backing store is normally a heap vector, but a subcontract's
+//! `invoke_preamble` may redirect it into a shared-memory region
+//! ([`CommBuffer::redirect_to_shm`]) so that arguments are marshalled
+//! directly into the region — the paper's §5.1.4 optimization.
+//!
+//! # Examples
+//!
+//! ```
+//! use spring_buf::CommBuffer;
+//!
+//! let mut buf = CommBuffer::new();
+//! buf.put_u32(7);
+//! buf.put_string("hello");
+//! buf.put_bool(true);
+//!
+//! let mut buf = CommBuffer::from_message(buf.into_message());
+//! assert_eq!(buf.get_u32().unwrap(), 7);
+//! assert_eq!(buf.get_string().unwrap(), "hello");
+//! assert!(buf.get_bool().unwrap());
+//! ```
+
+mod buffer;
+mod error;
+
+pub use buffer::CommBuffer;
+pub use error::BufError;

@@ -1,0 +1,116 @@
+//! The per-domain subcontract registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::scid::ScId;
+use crate::traits::Subcontract;
+
+/// Maps subcontract identifiers to subcontract implementations within one
+/// domain (§6.1: "it calls into a registry to locate the correct code for
+/// that subcontract").
+///
+/// A program is linked with a set of standard subcontracts registered at
+/// startup; additional subcontracts arrive at run time through dynamic
+/// discovery (§6.2), handled by [`crate::DomainCtx::lookup_subcontract`].
+#[derive(Default)]
+pub struct SubcontractRegistry {
+    by_id: RwLock<HashMap<ScId, Arc<dyn Subcontract>>>,
+}
+
+impl SubcontractRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subcontract under its own identifier. Re-registering the
+    /// same identifier replaces the implementation (latest wins).
+    pub fn register(&self, sc: Arc<dyn Subcontract>) {
+        self.by_id.write().insert(sc.id(), sc);
+    }
+
+    /// Looks up a subcontract by identifier.
+    pub fn get(&self, id: ScId) -> Option<Arc<dyn Subcontract>> {
+        self.by_id.read().get(&id).cloned()
+    }
+
+    /// Returns true when the identifier is registered.
+    pub fn contains(&self, id: ScId) -> bool {
+        self.by_id.read().contains_key(&id)
+    }
+
+    /// Number of registered subcontracts.
+    pub fn len(&self) -> usize {
+        self.by_id.read().len()
+    }
+
+    /// Returns true when no subcontracts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use spring_buf::CommBuffer;
+
+    use super::*;
+    use crate::ctx::DomainCtx;
+    use crate::error::Result;
+    use crate::object::SpringObj;
+    use crate::traits::{ObjParts, Subcontract};
+    use crate::types::TypeInfo;
+
+    #[derive(Debug)]
+    struct Named(&'static str);
+
+    impl Subcontract for Named {
+        fn id(&self) -> ScId {
+            ScId::from_name(self.0)
+        }
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn invoke(&self, _: &SpringObj, _: CommBuffer) -> Result<CommBuffer> {
+            unreachable!("registry test only")
+        }
+        fn marshal(&self, _: &Arc<DomainCtx>, _: ObjParts, _: &mut CommBuffer) -> Result<()> {
+            unreachable!("registry test only")
+        }
+        fn unmarshal(
+            &self,
+            _: &Arc<DomainCtx>,
+            _: &'static TypeInfo,
+            _: &mut CommBuffer,
+        ) -> Result<SpringObj> {
+            unreachable!("registry test only")
+        }
+        fn copy(&self, _: &SpringObj) -> Result<SpringObj> {
+            unreachable!("registry test only")
+        }
+        fn consume(&self, _: &Arc<DomainCtx>, _: ObjParts) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_lookup_and_replace() {
+        let reg = SubcontractRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(Arc::new(Named("a")));
+        reg.register(Arc::new(Named("b")));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains(ScId::from_name("a")));
+        assert!(!reg.contains(ScId::from_name("c")));
+        assert_eq!(reg.get(ScId::from_name("b")).unwrap().name(), "b");
+
+        // Latest registration wins.
+        reg.register(Arc::new(Named("a")));
+        assert_eq!(reg.len(), 2);
+    }
+}

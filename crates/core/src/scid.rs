@@ -1,0 +1,96 @@
+//! Subcontract identifiers.
+
+use std::fmt;
+
+/// A subcontract identifier, included in the marshalled form of every object
+/// (§6.1) so that receivers can recognize which subcontract produced it.
+///
+/// Identifiers are derived from the subcontract's name with a 64-bit FNV-1a
+/// hash, so third parties can mint identifiers without a central registry —
+/// the paper's requirement that new subcontracts be introduced without
+/// changing the base system.
+///
+/// # Examples
+///
+/// ```
+/// use subcontract::ScId;
+///
+/// const REPLICON: ScId = ScId::from_name("replicon");
+/// assert_eq!(REPLICON, ScId::from_name("replicon"));
+/// assert_ne!(REPLICON, ScId::from_name("simplex"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScId(u64);
+
+impl ScId {
+    /// Derives the identifier for a subcontract name (const, FNV-1a).
+    pub const fn from_name(name: &str) -> ScId {
+        let bytes = name.as_bytes();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            i += 1;
+        }
+        ScId(hash)
+    }
+
+    /// Rebuilds an identifier from its wire value.
+    pub const fn from_raw(raw: u64) -> ScId {
+        ScId(raw)
+    }
+
+    /// The wire value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ScId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScId({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for ScId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let ids = [
+            "singleton",
+            "simplex",
+            "cluster",
+            "replicon",
+            "caching",
+            "reconnectable",
+            "shmem",
+        ]
+        .map(ScId::from_name);
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                assert_eq!(i == j, a == b, "collision between ids {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let id = ScId::from_name("caching");
+        assert_eq!(ScId::from_raw(id.raw()), id);
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(ScId::from_name("").raw(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,187 @@
+//! Run-time type information with multiple inheritance.
+//!
+//! Spring's IDL is object-oriented with multiple interface inheritance
+//! (§3.1). Subcontracts affect objects' semantics, and "it is the
+//! responsibility of each object implementor to select both a type for their
+//! object and a subcontract that meets the semantic commitments of that
+//! type" (§6.3). Clients may *narrow* an object at run time to discover
+//! richer semantics.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use crate::scid::ScId;
+
+/// Static description of one IDL interface type.
+///
+/// Instances are normally `static` items produced by the IDL compiler; the
+/// inheritance graph is encoded by the `parents` slice.
+pub struct TypeInfo {
+    /// Fully qualified interface name (for example `"fs::cacheable_file"`).
+    pub name: &'static str,
+    /// Direct parent interfaces (multiple inheritance allowed).
+    pub parents: &'static [&'static TypeInfo],
+    /// The subcontract used by default when unmarshalling objects declared
+    /// as this type (§6.1: "For each type we can specify a default
+    /// subcontract for use when talking to that type").
+    pub default_subcontract: ScId,
+}
+
+impl TypeInfo {
+    /// Returns true when `self` conforms to `other` — it is the same
+    /// interface or inherits from it (directly or transitively).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subcontract::{ScId, TypeInfo, OBJECT_TYPE};
+    ///
+    /// static FILE: TypeInfo = TypeInfo {
+    ///     name: "file",
+    ///     parents: &[&OBJECT_TYPE],
+    ///     default_subcontract: ScId::from_name("singleton"),
+    /// };
+    /// static CACHEABLE: TypeInfo = TypeInfo {
+    ///     name: "cacheable_file",
+    ///     parents: &[&FILE],
+    ///     default_subcontract: ScId::from_name("caching"),
+    /// };
+    ///
+    /// assert!(CACHEABLE.is_a(&FILE));
+    /// assert!(CACHEABLE.is_a(&OBJECT_TYPE));
+    /// assert!(!FILE.is_a(&CACHEABLE));
+    /// ```
+    pub fn is_a(&self, other: &TypeInfo) -> bool {
+        if self.name == other.name {
+            return true;
+        }
+        self.parents.iter().any(|p| p.is_a(other))
+    }
+}
+
+impl fmt::Debug for TypeInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TypeInfo({})", self.name)
+    }
+}
+
+impl PartialEq for TypeInfo {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for TypeInfo {}
+
+/// The universal base interface; every object type conforms to it.
+pub static OBJECT_TYPE: TypeInfo = TypeInfo {
+    name: "object",
+    parents: &[],
+    default_subcontract: ScId::from_name("singleton"),
+};
+
+/// Per-domain mapping from interface names to their [`TypeInfo`].
+///
+/// A program only knows the types it was built with; a marshalled object
+/// whose actual type is unknown here is handled at its declared (expected)
+/// type instead — narrowing to the richer type is then impossible, exactly
+/// as in a program not linked with the richer stubs.
+pub struct TypeRegistry {
+    by_name: RwLock<HashMap<&'static str, &'static TypeInfo>>,
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeRegistry {
+    /// Creates a registry pre-populated with [`OBJECT_TYPE`].
+    pub fn new() -> Self {
+        let reg = TypeRegistry {
+            by_name: RwLock::new(HashMap::new()),
+        };
+        reg.register(&OBJECT_TYPE);
+        reg
+    }
+
+    /// Registers a type and, transitively, its parents.
+    pub fn register(&self, t: &'static TypeInfo) {
+        {
+            let mut map = self.by_name.write();
+            if map.insert(t.name, t).is_some() {
+                return; // Already known; parents are too.
+            }
+        }
+        for p in t.parents {
+            self.register(p);
+        }
+    }
+
+    /// Looks up a type by its fully qualified name.
+    pub fn lookup(&self, name: &str) -> Option<&'static TypeInfo> {
+        self.by_name.read().get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static FILE: TypeInfo = TypeInfo {
+        name: "file",
+        parents: &[&OBJECT_TYPE],
+        default_subcontract: ScId::from_name("singleton"),
+    };
+    static CACHEABLE_FILE: TypeInfo = TypeInfo {
+        name: "cacheable_file",
+        parents: &[&FILE],
+        default_subcontract: ScId::from_name("caching"),
+    };
+    static VERSIONED: TypeInfo = TypeInfo {
+        name: "versioned",
+        parents: &[&OBJECT_TYPE],
+        default_subcontract: ScId::from_name("singleton"),
+    };
+    static VERSIONED_FILE: TypeInfo = TypeInfo {
+        name: "versioned_file",
+        parents: &[&FILE, &VERSIONED],
+        default_subcontract: ScId::from_name("singleton"),
+    };
+
+    #[test]
+    fn single_inheritance_conformance() {
+        assert!(CACHEABLE_FILE.is_a(&FILE));
+        assert!(CACHEABLE_FILE.is_a(&OBJECT_TYPE));
+        assert!(CACHEABLE_FILE.is_a(&CACHEABLE_FILE));
+        assert!(!FILE.is_a(&CACHEABLE_FILE));
+    }
+
+    #[test]
+    fn multiple_inheritance_conformance() {
+        assert!(VERSIONED_FILE.is_a(&FILE));
+        assert!(VERSIONED_FILE.is_a(&VERSIONED));
+        assert!(VERSIONED_FILE.is_a(&OBJECT_TYPE));
+        assert!(!VERSIONED.is_a(&FILE));
+    }
+
+    #[test]
+    fn registry_registers_parents() {
+        let reg = TypeRegistry::new();
+        reg.register(&VERSIONED_FILE);
+        assert!(reg.lookup("versioned_file").is_some());
+        assert!(reg.lookup("file").is_some());
+        assert!(reg.lookup("versioned").is_some());
+        assert!(reg.lookup("object").is_some());
+        assert!(reg.lookup("nope").is_none());
+    }
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(&FILE, &FILE);
+        assert_ne!(&FILE, &CACHEABLE_FILE);
+    }
+}

@@ -1,0 +1,211 @@
+//! Abstract syntax for the IDL subset.
+
+/// A whole compilation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Spec {
+    /// Top-level definitions.
+    pub definitions: Vec<Definition>,
+}
+
+/// One top-level or module-scoped definition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Definition {
+    /// `module name { ... };`
+    Module(Module),
+    /// `interface name : parents { ... };`
+    Interface(Interface),
+    /// `struct name { ... };`
+    Struct(StructDef),
+    /// `enum name { ... };`
+    Enum(EnumDef),
+    /// `exception name { ... };`
+    Exception(ExceptionDef),
+    /// `typedef type name;`
+    Typedef(Typedef),
+    /// `const type name = value;`
+    Const(ConstDef),
+}
+
+/// A named scope of definitions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Nested definitions.
+    pub definitions: Vec<Definition>,
+}
+
+/// An object interface.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Direct parents (scoped names), in declaration order.
+    pub parents: Vec<ScopedName>,
+    /// Operations declared directly on this interface.
+    pub ops: Vec<Operation>,
+    /// Default subcontract from a `[subcontract = name]` annotation;
+    /// `"singleton"` when unannotated.
+    pub subcontract: String,
+    /// Source line of the declaration (for diagnostics).
+    pub line: usize,
+}
+
+/// One operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Return type (`Type::Void` for `void`).
+    pub ret: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Exceptions from the `raises(...)` clause.
+    pub raises: Vec<ScopedName>,
+    /// Source line (for diagnostics).
+    pub line: usize,
+}
+
+/// Parameter passing modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamMode {
+    /// Caller → callee. For object types this *transmits* the object (the
+    /// caller ceases to have it, §3.2).
+    In,
+    /// Callee → caller (an extra result).
+    Out,
+    /// Both directions.
+    InOut,
+    /// The paper's `copy` mode (§5.1.5): a copy of the argument object is
+    /// transmitted while the caller retains the original.
+    Copy,
+}
+
+/// One parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Passing mode.
+    pub mode: ParamMode,
+    /// Declared type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A (possibly qualified) reference to a named definition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScopedName {
+    /// Path segments, e.g. `["fs", "file"]` for `fs::file`.
+    pub segments: Vec<String>,
+    /// Source line (for diagnostics).
+    pub line: usize,
+}
+
+impl ScopedName {
+    /// The segments joined with `::`.
+    pub fn joined(&self) -> String {
+        self.segments.join("::")
+    }
+}
+
+/// A type expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Type {
+    /// `void` (return position only).
+    Void,
+    /// `boolean`.
+    Bool,
+    /// `octet`.
+    Octet,
+    /// `short` / `unsigned short`.
+    Short,
+    /// `unsigned short`.
+    UShort,
+    /// `long`.
+    Long,
+    /// `unsigned long`.
+    ULong,
+    /// `long long`.
+    LongLong,
+    /// `unsigned long long`.
+    ULongLong,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `string`.
+    Str,
+    /// `object` — any Spring object, at the universal base type.
+    Object,
+    /// `sequence<T>`.
+    Sequence(Box<Type>),
+    /// A named type: struct, enum, typedef, or interface.
+    Named(ScopedName),
+}
+
+/// `struct` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+/// A struct or exception field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    /// Field type.
+    pub ty: Type,
+    /// Field name.
+    pub name: String,
+}
+
+/// `enum` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variants in declaration order (wire form is the index).
+    pub variants: Vec<String>,
+}
+
+/// `exception` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExceptionDef {
+    /// Exception name (also its wire name).
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+/// `typedef` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Typedef {
+    /// New name.
+    pub name: String,
+    /// Aliased type.
+    pub ty: Type,
+}
+
+/// `const` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstDef {
+    /// Constant name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Literal value.
+    pub value: ConstValue,
+}
+
+/// Literal values for constants.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConstValue {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal (`TRUE` / `FALSE`).
+    Bool(bool),
+}

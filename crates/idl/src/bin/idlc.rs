@@ -1,0 +1,70 @@
+//! `idlc` — the IDL compiler command line.
+//!
+//! Usage: `idlc INPUT.idl [-o OUTPUT.rs]`
+//!
+//! Compiles a Spring IDL file to Rust stubs and skeletons. With no `-o`, the
+//! generated code is written to standard output.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                if i + 1 >= args.len() {
+                    eprintln!("idlc: -o requires an argument");
+                    return ExitCode::from(2);
+                }
+                output = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("usage: idlc INPUT.idl [-o OUTPUT.rs]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => {
+                input = Some(other.to_owned());
+                i += 1;
+            }
+            other => {
+                eprintln!("idlc: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(input) = input else {
+        eprintln!("usage: idlc INPUT.idl [-o OUTPUT.rs]");
+        return ExitCode::from(2);
+    };
+
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("idlc: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match spring_idl::compile(&source) {
+        Ok(rust) => {
+            if let Some(path) = output {
+                if let Err(e) = std::fs::write(&path, rust) {
+                    eprintln!("idlc: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{rust}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{input}:{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

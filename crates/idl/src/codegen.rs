@@ -1,0 +1,978 @@
+//! Rust code generation.
+//!
+//! For each interface the generator emits, mirroring the IDL module tree:
+//!
+//! * a `TypeInfo` static encoding the inheritance graph and the default
+//!   subcontract chosen by the `[subcontract = ...]` annotation;
+//! * an operations module with the 32-bit wire numbers;
+//! * a client struct (the "method table" of §4) whose methods run
+//!   `start_call` → marshal → `invoke` → unmarshal, fully independent of
+//!   the object's subcontract;
+//! * a servant trait (inheriting its parents' servant traits) and a
+//!   skeleton implementing `subcontract::Dispatch` over the *flattened*
+//!   method set;
+//! * an error enum per interface covering its declared exceptions plus a
+//!   `System` variant.
+//!
+//! Structs, enums, and exceptions get `idl_encode`/`idl_decode` methods;
+//! object-typed parameters and results are marshalled through their own
+//! subcontracts (`in` moves, `copy` copies — §5.1.5).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+use crate::check::{op_hash32, CheckedSpec, InterfaceInfo};
+
+/// Converts `snake_or_lower` to `UpperCamel`.
+fn camel(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut upper = true;
+    for c in s.chars() {
+        if c == '_' {
+            upper = true;
+        } else if upper {
+            out.extend(c.to_uppercase());
+            upper = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Converts to `UPPER_SNAKE`.
+fn upper_snake(s: &str) -> String {
+    s.to_uppercase()
+}
+
+/// Escapes Rust keywords in value position (parameters, fields).
+fn sanitize(s: &str) -> String {
+    const KEYWORDS: &[&str] = &[
+        "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false",
+        "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+        "ref", "return", "self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+        "use", "where", "while", "async", "await", "box", "final", "macro", "override", "priv",
+        "try", "typeof", "unsized", "virtual", "yield",
+    ];
+    if KEYWORDS.contains(&s) {
+        format!("{s}_")
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Indentation-aware output writer.
+struct Out {
+    buf: String,
+    indent: usize,
+}
+
+impl Out {
+    fn line(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        if s.is_empty() {
+            self.buf.push('\n');
+        } else {
+            for _ in 0..self.indent {
+                self.buf.push_str("    ");
+            }
+            self.buf.push_str(s);
+            self.buf.push('\n');
+        }
+    }
+
+    fn open(&mut self, s: impl AsRef<str>) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, s: impl AsRef<str>) {
+        self.indent -= 1;
+        self.line(s);
+    }
+}
+
+struct Gen<'a> {
+    checked: &'a CheckedSpec,
+    out: Out,
+    /// Current module path within the generated tree.
+    depth: usize,
+}
+
+impl Gen<'_> {
+    /// Rust path from the current module to the item for `abs`, whose local
+    /// Rust name is produced by `name_of`.
+    fn path_to(&self, abs: &str, name_of: impl Fn(&str) -> String) -> String {
+        let mut segments: Vec<&str> = abs.split("::").collect();
+        let leaf = segments.pop().expect("non-empty path");
+        let mut path = if self.depth == 0 {
+            "self::".to_owned()
+        } else {
+            "super::".repeat(self.depth)
+        };
+        for m in segments {
+            let _ = write!(path, "{m}::");
+        }
+        path + &name_of(leaf)
+    }
+
+    fn type_info_path(&self, abs: &str) -> String {
+        self.path_to(abs, |n| format!("{}_TYPE", upper_snake(n)))
+    }
+
+    fn client_path(&self, abs: &str) -> String {
+        self.path_to(abs, camel)
+    }
+
+    fn error_path(&self, abs: &str) -> String {
+        self.path_to(abs, |n| format!("{}Error", camel(n)))
+    }
+
+    fn exception_path(&self, abs: &str) -> String {
+        self.path_to(abs, camel)
+    }
+
+    fn servant_path(&self, abs: &str) -> String {
+        self.path_to(abs, |n| format!("{}Servant", camel(n)))
+    }
+
+    fn ops_mod_path(&self, abs: &str) -> String {
+        self.path_to(abs, |n| format!("{n}_ops"))
+    }
+
+    /// Resolves a named data type through typedefs to its underlying type.
+    fn underlying<'t>(&'t self, ty: &'t Type) -> &'t Type {
+        if let Type::Named(n) = ty {
+            if let Some(t) = self.checked.typedefs.get(&n.joined()) {
+                return self.underlying(t);
+            }
+        }
+        ty
+    }
+
+    /// True when the type denotes an object (interface or `object`).
+    fn is_object(&self, ty: &Type) -> bool {
+        match self.underlying(ty) {
+            Type::Object => true,
+            Type::Named(n) => self.checked.interfaces.contains_key(&n.joined()),
+            _ => false,
+        }
+    }
+
+    /// The Rust type for values of `ty` (client-facing and servant-facing).
+    fn rust_type(&self, ty: &Type) -> String {
+        match ty {
+            Type::Void => "()".into(),
+            Type::Bool => "bool".into(),
+            Type::Octet => "u8".into(),
+            Type::Short => "i16".into(),
+            Type::UShort => "u16".into(),
+            Type::Long => "i32".into(),
+            Type::ULong => "u32".into(),
+            Type::LongLong => "i64".into(),
+            Type::ULongLong => "u64".into(),
+            Type::Float => "f32".into(),
+            Type::Double => "f64".into(),
+            Type::Str => "String".into(),
+            Type::Object => "::subcontract::SpringObj".into(),
+            Type::Sequence(inner) => format!("Vec<{}>", self.rust_type(inner)),
+            Type::Named(n) => {
+                let abs = n.joined();
+                if self.checked.interfaces.contains_key(&abs) {
+                    self.client_path(&abs)
+                } else if self.checked.typedefs.contains_key(&abs) {
+                    self.path_to(&abs, camel)
+                } else {
+                    // Struct or enum.
+                    self.path_to(&abs, camel)
+                }
+            }
+        }
+    }
+
+    /// Minimal encoded size of one value of `ty`, for length-prefix guards.
+    fn min_size(&self, ty: &Type) -> usize {
+        match self.underlying(ty) {
+            Type::Void => 0,
+            Type::Bool | Type::Octet => 1,
+            Type::Short | Type::UShort => 2,
+            Type::Long | Type::ULong | Type::Float => 4,
+            Type::LongLong | Type::ULongLong | Type::Double => 8,
+            Type::Str | Type::Sequence(_) => 4,
+            Type::Object | Type::Named(_) => {
+                match self.underlying(ty) {
+                    Type::Named(n) => {
+                        let abs = n.joined();
+                        if let Some(s) = self.checked.structs.get(&abs) {
+                            s.fields
+                                .iter()
+                                .map(|f| self.min_size(&f.ty))
+                                .sum::<usize>()
+                                .max(1)
+                        } else if self.checked.enums.contains_key(&abs) {
+                            4
+                        } else {
+                            // Interface: header + door slot, at least.
+                            12
+                        }
+                    }
+                    _ => 12,
+                }
+            }
+        }
+    }
+
+    /// Emits statements encoding `value` (a data value, not an object) into
+    /// the buffer expression `buf` (already `&mut CommBuffer`-compatible).
+    fn emit_encode(&mut self, ty: &Type, value: &str, buf: &str) {
+        let ty = self.underlying(ty).clone();
+        match &ty {
+            Type::Void => {}
+            Type::Bool => self.out.line(format!("{buf}.put_bool({value});")),
+            Type::Octet => self.out.line(format!("{buf}.put_u8({value});")),
+            Type::Short => self.out.line(format!("{buf}.put_i16({value});")),
+            Type::UShort => self.out.line(format!("{buf}.put_u16({value});")),
+            Type::Long => self.out.line(format!("{buf}.put_i32({value});")),
+            Type::ULong => self.out.line(format!("{buf}.put_u32({value});")),
+            Type::LongLong => self.out.line(format!("{buf}.put_i64({value});")),
+            Type::ULongLong => self.out.line(format!("{buf}.put_u64({value});")),
+            Type::Float => self.out.line(format!("{buf}.put_f32({value});")),
+            Type::Double => self.out.line(format!("{buf}.put_f64({value});")),
+            Type::Str => self.out.line(format!("{buf}.put_string(&{value});")),
+            Type::Object => unreachable!("objects are handled at op level"),
+            Type::Sequence(inner) => {
+                if matches!(self.underlying(inner), Type::Octet) {
+                    self.out.line(format!("{buf}.put_bytes(&{value});"));
+                } else {
+                    self.out.line(format!("{buf}.put_seq_len({value}.len());"));
+                    self.out.open(format!("for __it in &{value} {{"));
+                    self.emit_encode(inner, "(*__it)", buf);
+                    self.out.close("}");
+                }
+            }
+            Type::Named(_) => {
+                // In argument position the reborrow parens are redundant.
+                let arg = buf
+                    .strip_prefix('(')
+                    .and_then(|b| b.strip_suffix(')'))
+                    .unwrap_or(buf);
+                self.out.line(format!("({value}).idl_encode({arg});"));
+            }
+        }
+    }
+
+    fn is_copy_prim(&self, ty: &Type) -> bool {
+        match self.underlying(ty) {
+            Type::Bool
+            | Type::Octet
+            | Type::Short
+            | Type::UShort
+            | Type::Long
+            | Type::ULong
+            | Type::LongLong
+            | Type::ULongLong
+            | Type::Float
+            | Type::Double => true,
+            // Enums are `Copy` in the generated code; pass them by value.
+            Type::Named(n) => self.checked.enums.contains_key(&n.joined()),
+            _ => false,
+        }
+    }
+
+    /// Expression decoding one data value of `ty` from `buf`.
+    fn decode_expr(&self, ty: &Type, buf: &str) -> String {
+        match self.underlying(ty).clone() {
+            Type::Void => "()".into(),
+            Type::Bool => format!("{buf}.get_bool()?"),
+            Type::Octet => format!("{buf}.get_u8()?"),
+            Type::Short => format!("{buf}.get_i16()?"),
+            Type::UShort => format!("{buf}.get_u16()?"),
+            Type::Long => format!("{buf}.get_i32()?"),
+            Type::ULong => format!("{buf}.get_u32()?"),
+            Type::LongLong => format!("{buf}.get_i64()?"),
+            Type::ULongLong => format!("{buf}.get_u64()?"),
+            Type::Float => format!("{buf}.get_f32()?"),
+            Type::Double => format!("{buf}.get_f64()?"),
+            Type::Str => format!("{buf}.get_string()?"),
+            Type::Object => unreachable!("objects are handled at op level"),
+            Type::Sequence(inner) => {
+                if matches!(self.underlying(&inner), Type::Octet) {
+                    format!("{buf}.get_bytes()?")
+                } else {
+                    let min = self.min_size(&inner).max(1);
+                    let elem = self.decode_expr(&inner, buf);
+                    format!(
+                        "{{ let __n = {buf}.get_seq_len({min})?; \
+                         let mut __v = Vec::with_capacity(__n); \
+                         for _ in 0..__n {{ __v.push({elem}); }} __v }}"
+                    )
+                }
+            }
+            Type::Named(n) => {
+                let abs = n.joined();
+                // In argument position the reborrow parens are redundant.
+                let arg = buf
+                    .strip_prefix('(')
+                    .and_then(|b| b.strip_suffix(')'))
+                    .unwrap_or(buf);
+                format!("{}::idl_decode({arg})?", self.path_to(&abs, camel))
+            }
+        }
+    }
+
+    fn spec(&mut self, defs: &[Definition]) {
+        for def in defs {
+            match def {
+                Definition::Module(m) => {
+                    self.out.line("");
+                    self.out.open(format!("pub mod {} {{", sanitize(&m.name)));
+                    self.depth += 1;
+                    self.spec(&m.definitions);
+                    self.depth -= 1;
+                    self.out.close("}");
+                }
+                Definition::Interface(i) => self.interface(i),
+                Definition::Struct(s) => self.struct_def(&s.name, &s.fields, None),
+                Definition::Exception(e) => {
+                    self.struct_def(&e.name, &e.fields, Some(&e.name));
+                }
+                Definition::Enum(e) => self.enum_def(e),
+                Definition::Typedef(t) => {
+                    let rust = self.rust_type(&t.ty);
+                    self.out
+                        .line(format!("pub type {} = {};", camel(&t.name), rust));
+                }
+                Definition::Const(c) => self.const_def(c),
+            }
+        }
+    }
+
+    fn const_def(&mut self, c: &ConstDef) {
+        let (ty, value) = match (&c.ty, &c.value) {
+            (Type::Str, ConstValue::Str(s)) => ("&str".to_owned(), format!("{s:?}")),
+            (Type::Bool, ConstValue::Bool(b)) => ("bool".to_owned(), b.to_string()),
+            (t, ConstValue::Int(v)) => (self.rust_type(t), v.to_string()),
+            _ => unreachable!("validated by the checker"),
+        };
+        self.out.line(format!(
+            "pub const {}: {} = {};",
+            upper_snake(&c.name),
+            ty,
+            value
+        ));
+    }
+
+    fn struct_def(&mut self, name: &str, fields: &[Field], _exception: Option<&str>) {
+        let rust_name = camel(name);
+        self.out.line("");
+        self.out.line("#[derive(Clone, Debug, PartialEq)]");
+        self.out.open(format!("pub struct {rust_name} {{"));
+        for f in fields {
+            let field_ty = self.rust_type(&f.ty);
+            self.out
+                .line(format!("pub {}: {},", sanitize(&f.name), field_ty));
+        }
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!("impl {rust_name} {{"));
+        self.out
+            .open("pub fn idl_encode(&self, buf: &mut ::spring_buf::CommBuffer) {");
+        for f in fields {
+            self.emit_encode(&f.ty.clone(), &format!("self.{}", sanitize(&f.name)), "buf");
+        }
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(
+            "pub fn idl_decode(buf: &mut ::spring_buf::CommBuffer) \
+             -> ::std::result::Result<Self, ::subcontract::SpringError> {",
+        );
+        self.out.open("Ok(Self {");
+        for f in fields {
+            let expr = self.decode_expr(&f.ty, "buf");
+            self.out.line(format!("{}: {},", sanitize(&f.name), expr));
+        }
+        self.out.close("})");
+        self.out.close("}");
+        self.out.close("}");
+    }
+
+    fn enum_def(&mut self, e: &EnumDef) {
+        let rust_name = camel(&e.name);
+        self.out.line("");
+        self.out
+            .line("#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]");
+        self.out.open(format!("pub enum {rust_name} {{"));
+        for v in &e.variants {
+            self.out.line(format!("{},", camel(v)));
+        }
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!("impl {rust_name} {{"));
+        self.out
+            .open("pub fn idl_encode(&self, buf: &mut ::spring_buf::CommBuffer) {");
+        self.out.open("buf.put_u32(match self {");
+        for (i, v) in e.variants.iter().enumerate() {
+            self.out.line(format!("{rust_name}::{} => {i},", camel(v)));
+        }
+        self.out.close("});");
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(
+            "pub fn idl_decode(buf: &mut ::spring_buf::CommBuffer) \
+             -> ::std::result::Result<Self, ::subcontract::SpringError> {",
+        );
+        self.out.open("Ok(match buf.get_u32()? {");
+        for (i, v) in e.variants.iter().enumerate() {
+            self.out.line(format!("{i} => {rust_name}::{},", camel(v)));
+        }
+        self.out.line(
+            "__tag => return Err(::subcontract::SpringError::Buf(\
+             ::spring_buf::BufError::InvalidEnumTag(__tag))),",
+        );
+        self.out.close("})");
+        self.out.close("}");
+        self.out.close("}");
+    }
+
+    /// The absolute IDL name of an interface declared at the current depth.
+    fn abs_of(&self, i: &Interface) -> String {
+        // The checker stored interfaces by absolute name; find the matching
+        // declaration by identity of name + line.
+        self.checked
+            .interfaces
+            .values()
+            .find(|info| info.decl.name == i.name && info.decl.line == i.line)
+            .map(|info| info.abs.clone())
+            .expect("interface registered by the checker")
+    }
+
+    fn interface(&mut self, i: &Interface) {
+        let abs = self.abs_of(i);
+        let info = self.checked.interfaces[&abs].clone();
+        self.type_info_static(&info);
+        self.ops_module(&info);
+        self.error_enum(&info);
+        self.client_struct(&info);
+        self.servant_trait(&info);
+        self.skeleton(&info);
+    }
+
+    fn type_info_static(&mut self, info: &InterfaceInfo) {
+        let name = upper_snake(&info.decl.name);
+        self.out.line("");
+        self.out
+            .line(format!("/// Run-time type information for `{}`.", info.abs));
+        self.out.open(format!(
+            "pub static {name}_TYPE: ::subcontract::TypeInfo = ::subcontract::TypeInfo {{"
+        ));
+        self.out.line(format!("name: {:?},", info.abs));
+        if info.parents.is_empty() {
+            self.out.line("parents: &[&::subcontract::OBJECT_TYPE],");
+        } else {
+            let list: Vec<String> = info
+                .parents
+                .iter()
+                .map(|p| format!("&{}", self.type_info_path(p)))
+                .collect();
+            self.out.line(format!("parents: &[{}],", list.join(", ")));
+        }
+        self.out.line(format!(
+            "default_subcontract: ::subcontract::ScId::from_name({:?}),",
+            info.decl.subcontract
+        ));
+        self.out.close("};");
+    }
+
+    fn ops_module(&mut self, info: &InterfaceInfo) {
+        self.out.line("");
+        self.out
+            .line(format!("/// Operation numbers for `{}`.", info.abs));
+        self.out.open(format!("pub mod {}_ops {{", info.decl.name));
+        for f in &info.flat_ops {
+            self.out.line(format!(
+                "pub const {}: u32 = {:#010x};",
+                upper_snake(&f.op.name),
+                op_hash32(&f.op.name)
+            ));
+        }
+        self.out.close("}");
+    }
+
+    fn error_enum(&mut self, info: &InterfaceInfo) {
+        let name = format!("{}Error", camel(&info.decl.name));
+        self.out.line("");
+        self.out.line(format!(
+            "/// Errors raised by `{}`'s own operations.",
+            info.abs
+        ));
+        self.out.line("#[derive(Debug)]");
+        self.out.open(format!("pub enum {name} {{"));
+        for e in &info.exceptions {
+            let variant = camel(e.rsplit("::").next().unwrap());
+            self.out
+                .line(format!("{variant}({}),", self.exception_path(e)));
+        }
+        self.out.line("System(::subcontract::SpringError),");
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!(
+            "impl From<::subcontract::SpringError> for {name} {{"
+        ));
+        self.out
+            .open("fn from(e: ::subcontract::SpringError) -> Self {");
+        self.out.line(format!("{name}::System(e)"));
+        self.out.close("}");
+        self.out.close("}");
+        self.out.line("");
+        self.out
+            .open(format!("impl From<::spring_buf::BufError> for {name} {{"));
+        self.out
+            .open("fn from(e: ::spring_buf::BufError) -> Self {");
+        self.out.line(format!(
+            "{name}::System(::subcontract::SpringError::Buf(e))"
+        ));
+        self.out.close("}");
+        self.out.close("}");
+        self.out.line("");
+        self.out
+            .open(format!("impl ::std::fmt::Display for {name} {{"));
+        self.out
+            .open("fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {");
+        self.out.open("match self {");
+        for e in &info.exceptions {
+            let variant = camel(e.rsplit("::").next().unwrap());
+            self.out.line(format!(
+                "{name}::{variant}(__e) => write!(f, \"{e}: {{:?}}\", __e),"
+            ));
+        }
+        self.out
+            .line(format!("{name}::System(__e) => write!(f, \"{{}}\", __e),"));
+        self.out.close("}");
+        self.out.close("}");
+        self.out.close("}");
+        self.out.line("");
+        self.out
+            .line(format!("impl ::std::error::Error for {name} {{}}"));
+    }
+
+    /// Returns the list of values an operation yields, in wire order:
+    /// the return value first (when non-void), then out/inout parameters.
+    fn op_returns<'o>(&self, op: &'o Operation) -> Vec<(&'o str, &'o Type)> {
+        let mut out = Vec::new();
+        if op.ret != Type::Void {
+            out.push(("__ret", &op.ret));
+        }
+        for p in &op.params {
+            if matches!(p.mode, ParamMode::Out | ParamMode::InOut) {
+                out.push((p.name.as_str(), &p.ty));
+            }
+        }
+        out
+    }
+
+    fn returns_type(&self, op: &Operation) -> String {
+        let rets = self.op_returns(op);
+        match rets.len() {
+            0 => "()".into(),
+            1 => self.rust_type(rets[0].1),
+            _ => {
+                let list: Vec<String> = rets.iter().map(|(_, t)| self.rust_type(t)).collect();
+                format!("({})", list.join(", "))
+            }
+        }
+    }
+
+    fn client_struct(&mut self, info: &InterfaceInfo) {
+        let name = camel(&info.decl.name);
+        let tinfo = format!("{}_TYPE", upper_snake(&info.decl.name));
+        self.out.line("");
+        self.out.line(format!(
+            "/// Client stub for `{}` (subcontract-independent).",
+            info.abs
+        ));
+        self.out.line("#[derive(Debug)]");
+        self.out.open(format!("pub struct {name} {{"));
+        self.out.line("obj: ::subcontract::SpringObj,");
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!("impl {name} {{"));
+        self.out
+            .line("/// Wraps an object, verifying its run-time type.");
+        self.out.open(
+            "pub fn from_obj(obj: ::subcontract::SpringObj) -> ::subcontract::Result<Self> {",
+        );
+        self.out.line(format!("obj.narrow(&{tinfo})?;"));
+        self.out.line(format!("Ok({name} {{ obj }})"));
+        self.out.close("}");
+        self.out.line("");
+        self.out.line("/// The wrapped object.");
+        self.out
+            .open("pub fn obj(&self) -> &::subcontract::SpringObj {");
+        self.out.line("&self.obj");
+        self.out.close("}");
+        self.out.line("");
+        self.out.line("/// Unwraps the object.");
+        self.out
+            .open("pub fn into_obj(self) -> ::subcontract::SpringObj {");
+        self.out.line("self.obj");
+        self.out.close("}");
+        self.out.line("");
+        self.out.line("/// Shallow-copies the object (§7).");
+        self.out
+            .open("pub fn copy(&self) -> ::subcontract::Result<Self> {");
+        self.out
+            .line(format!("Ok({name} {{ obj: self.obj.copy()? }})"));
+        self.out.close("}");
+
+        for f in info.flat_ops.clone() {
+            self.client_method(info, &f.owner, &f.op);
+        }
+        self.out.close("}");
+    }
+
+    fn client_method(&mut self, info: &InterfaceInfo, owner: &str, op: &Operation) {
+        let err_ty = self.error_path(owner);
+        let ops_mod = self.ops_mod_path(&info.abs);
+        let ret_ty = self.returns_type(op);
+
+        let mut sig_params = Vec::new();
+        for p in &op.params {
+            let pname = sanitize(&p.name);
+            let ty = &p.ty;
+            match p.mode {
+                ParamMode::In | ParamMode::InOut => {
+                    if self.is_object(ty) || self.is_copy_prim(ty) {
+                        sig_params.push(format!("{pname}: {}", self.rust_type(ty)));
+                    } else {
+                        sig_params.push(format!("{pname}: {}", self.client_ref_type(ty)));
+                    }
+                }
+                ParamMode::Copy => {
+                    sig_params.push(format!("{pname}: &{}", self.rust_type(ty)));
+                }
+                ParamMode::Out => {}
+            }
+        }
+
+        self.out.line("");
+        self.out.line(format!(
+            "/// Invokes `{}::{}` on the remote object.",
+            owner, op.name
+        ));
+        self.out.open(format!(
+            "pub fn {}(&self{}{}) -> ::std::result::Result<{ret_ty}, {err_ty}> {{",
+            sanitize(&op.name),
+            if sig_params.is_empty() { "" } else { ", " },
+            sig_params.join(", ")
+        ));
+        self.out.line(format!(
+            "let mut __call = self.obj.start_call({ops_mod}::{})?;",
+            upper_snake(&op.name)
+        ));
+        for p in &op.params {
+            let pname = sanitize(&p.name);
+            match p.mode {
+                ParamMode::Out => {}
+                ParamMode::Copy => {
+                    if matches!(self.underlying(&p.ty), Type::Object) {
+                        self.out
+                            .line(format!("{pname}.marshal_copy(&mut __call)?;"));
+                    } else {
+                        self.out
+                            .line(format!("{pname}.obj().marshal_copy(&mut __call)?;"));
+                    }
+                }
+                ParamMode::In | ParamMode::InOut => {
+                    if self.is_object(&p.ty) {
+                        if matches!(self.underlying(&p.ty), Type::Object) {
+                            self.out.line(format!("{pname}.marshal(&mut __call)?;"));
+                        } else {
+                            self.out
+                                .line(format!("{pname}.into_obj().marshal(&mut __call)?;"));
+                        }
+                    } else {
+                        let value = if self.is_copy_prim(&p.ty) {
+                            pname.clone()
+                        } else {
+                            format!("(*{pname})")
+                        };
+                        self.emit_encode(&p.ty.clone(), &value, "(&mut __call)");
+                    }
+                }
+            }
+        }
+        self.out.line("let mut __reply = self.obj.invoke(__call)?;");
+        self.out
+            .open("match ::subcontract::decode_reply_status(&mut __reply)? {");
+        self.out.open("::subcontract::ReplyStatus::Ok => {");
+        let rets = self.op_returns_owned(op);
+        let mut ret_exprs = Vec::new();
+        for (idx, (_, ty)) in rets.iter().enumerate() {
+            let var = format!("__r{idx}");
+            if self.is_object(ty) {
+                let expected = match self.underlying(ty) {
+                    Type::Object => "&::subcontract::OBJECT_TYPE".to_owned(),
+                    Type::Named(n) => format!("&{}", self.type_info_path(&n.joined())),
+                    _ => unreachable!(),
+                };
+                self.out.line(format!(
+                    "let {var} = ::subcontract::unmarshal_object(self.obj.ctx(), {expected}, &mut __reply)?;"
+                ));
+                if !matches!(self.underlying(ty), Type::Object) {
+                    let client = self.rust_type(ty);
+                    self.out
+                        .line(format!("let {var} = {client}::from_obj({var})?;"));
+                }
+            } else {
+                let expr = self.decode_expr(ty, "(&mut __reply)");
+                self.out.line(format!("let {var} = {expr};"));
+            }
+            ret_exprs.push(var);
+        }
+        match ret_exprs.len() {
+            0 => self.out.line("Ok(())"),
+            1 => self.out.line(format!("Ok({})", ret_exprs[0])),
+            _ => self.out.line(format!("Ok(({}))", ret_exprs.join(", "))),
+        }
+        self.out.close("}");
+        self.out
+            .open("::subcontract::ReplyStatus::UserException(__name) => match __name.as_str() {");
+        for r in &op.raises {
+            let abs = r.joined();
+            let variant = camel(abs.rsplit("::").next().unwrap());
+            let exn = self.exception_path(&abs);
+            self.out.line(format!(
+                "{:?} => Err({err_ty}::{variant}({exn}::idl_decode(&mut __reply)?)),",
+                abs
+            ));
+        }
+        self.out.line(format!(
+            "__other => Err({err_ty}::System(\
+             ::subcontract::SpringError::UnknownUserException(__other.to_owned()))),"
+        ));
+        self.out.close("},");
+        self.out.close("}");
+        self.out.close("}");
+    }
+
+    /// Borrowed client-side parameter type for non-object data: `&str`,
+    /// `&[T]`, or `&Struct`.
+    fn client_ref_type(&self, ty: &Type) -> String {
+        match self.underlying(ty) {
+            Type::Str => "&str".to_owned(),
+            Type::Sequence(inner) => format!("&[{}]", self.rust_type(inner)),
+            other => format!("&{}", self.rust_type(&other.clone())),
+        }
+    }
+
+    /// Owned variant of [`Gen::op_returns`] (avoids borrow tangles).
+    fn op_returns_owned(&self, op: &Operation) -> Vec<(String, Type)> {
+        self.op_returns(op)
+            .into_iter()
+            .map(|(n, t)| (n.to_owned(), t.clone()))
+            .collect()
+    }
+
+    fn servant_trait(&mut self, info: &InterfaceInfo) {
+        let name = format!("{}Servant", camel(&info.decl.name));
+        let supertraits = if info.parents.is_empty() {
+            "Send + Sync + 'static".to_owned()
+        } else {
+            info.parents
+                .iter()
+                .map(|p| self.servant_path(p))
+                .collect::<Vec<_>>()
+                .join(" + ")
+        };
+        self.out.line("");
+        self.out.line(format!(
+            "/// Server application interface for `{}`.",
+            info.abs
+        ));
+        self.out.open(format!("pub trait {name}: {supertraits} {{"));
+        for op in info.decl.ops.clone() {
+            let err_ty = self.error_path(&info.abs);
+            let ret_ty = self.returns_type(&op);
+            let mut params = Vec::new();
+            for p in &op.params {
+                if matches!(p.mode, ParamMode::Out) {
+                    continue;
+                }
+                params.push(format!("{}: {}", sanitize(&p.name), self.rust_type(&p.ty)));
+            }
+            self.out
+                .line(format!("/// Serves `{}::{}`.", info.abs, op.name));
+            self.out.line(format!(
+                "fn {}(&self{}{}) -> ::std::result::Result<{ret_ty}, {err_ty}>;",
+                sanitize(&op.name),
+                if params.is_empty() { "" } else { ", " },
+                params.join(", ")
+            ));
+        }
+        self.out.close("}");
+    }
+
+    fn skeleton(&mut self, info: &InterfaceInfo) {
+        let iface = camel(&info.decl.name);
+        let name = format!("{iface}Skeleton");
+        let servant = format!("{iface}Servant");
+        let tinfo = format!("{}_TYPE", upper_snake(&info.decl.name));
+        self.out.line("");
+        self.out.line(format!(
+            "/// Server-side stub (skeleton) for `{}`: unmarshals arguments \
+             and calls into the server application (§4).",
+            info.abs
+        ));
+        self.out.open(format!("pub struct {name}<S: {servant}> {{"));
+        self.out.line("servant: ::std::sync::Arc<S>,");
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!("impl<S: {servant}> {name}<S> {{"));
+        self.out
+            .line("/// Wraps a servant for export through any server subcontract.");
+        self.out
+            .open("pub fn new(servant: ::std::sync::Arc<S>) -> ::std::sync::Arc<Self> {");
+        self.out
+            .line(format!("::std::sync::Arc::new({name} {{ servant }})"));
+        self.out.close("}");
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!(
+            "impl<S: {servant}> ::subcontract::Dispatch for {name}<S> {{"
+        ));
+        self.out
+            .open("fn type_info(&self) -> &'static ::subcontract::TypeInfo {");
+        self.out.line(format!("&{tinfo}"));
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(
+            "fn dispatch(&self, __sctx: &::subcontract::ServerCtx, __op: u32, \
+             __args: &mut ::spring_buf::CommBuffer, __reply: &mut ::spring_buf::CommBuffer) \
+             -> ::subcontract::Result<()> {",
+        );
+        self.out.open("match __op {");
+        for f in info.flat_ops.clone() {
+            self.skeleton_arm(info, &f.owner, &f.op);
+        }
+        self.out
+            .line("__other => Err(::subcontract::SpringError::UnknownOp(__other)),");
+        self.out.close("}");
+        self.out.close("}");
+        self.out.close("}");
+    }
+
+    fn skeleton_arm(&mut self, info: &InterfaceInfo, owner: &str, op: &Operation) {
+        let ops_mod = self.ops_mod_path(&info.abs);
+        let err_ty = self.error_path(owner);
+        self.out.open(format!(
+            "__x if __x == {ops_mod}::{} => {{",
+            upper_snake(&op.name)
+        ));
+
+        // Unmarshal in/inout/copy arguments in declaration order.
+        let mut call_args = Vec::new();
+        for p in &op.params {
+            let pname = format!("__a_{}", sanitize(&p.name));
+            match p.mode {
+                ParamMode::Out => continue,
+                _ => {
+                    if self.is_object(&p.ty) {
+                        let expected = match self.underlying(&p.ty) {
+                            Type::Object => "&::subcontract::OBJECT_TYPE".to_owned(),
+                            Type::Named(n) => format!("&{}", self.type_info_path(&n.joined())),
+                            _ => unreachable!(),
+                        };
+                        self.out.line(format!(
+                            "let {pname} = ::subcontract::unmarshal_object(&__sctx.ctx, {expected}, __args)?;"
+                        ));
+                        if !matches!(self.underlying(&p.ty), Type::Object) {
+                            let client = self.rust_type(&p.ty);
+                            self.out
+                                .line(format!("let {pname} = {client}::from_obj({pname})?;"));
+                        }
+                    } else {
+                        let expr = self.decode_expr(&p.ty, "__args");
+                        self.out.line(format!("let {pname} = {expr};"));
+                    }
+                    call_args.push(pname);
+                }
+            }
+        }
+
+        let rets = self.op_returns_owned(op);
+        let ok_pattern = match rets.len() {
+            0 => "Ok(())".to_owned(),
+            1 => "Ok(__r0)".to_owned(),
+            n => {
+                let vars: Vec<String> = (0..n).map(|i| format!("__r{i}")).collect();
+                format!("Ok(({}))", vars.join(", "))
+            }
+        };
+
+        self.out.open(format!(
+            "match self.servant.{}({}) {{",
+            sanitize(&op.name),
+            call_args.join(", ")
+        ));
+        self.out.open(format!("{ok_pattern} => {{"));
+        self.out.line("::subcontract::encode_ok(__reply);");
+        for (idx, (_, ty)) in rets.iter().enumerate() {
+            let var = format!("__r{idx}");
+            if self.is_object(ty) {
+                if matches!(self.underlying(ty), Type::Object) {
+                    self.out.line(format!("{var}.marshal(__reply)?;"));
+                } else {
+                    self.out
+                        .line(format!("{var}.into_obj().marshal(__reply)?;"));
+                }
+            } else {
+                self.emit_encode(ty, &var, "__reply");
+            }
+        }
+        self.out.close("}");
+        for r in &op.raises {
+            let abs = r.joined();
+            let variant = camel(abs.rsplit("::").next().unwrap());
+            self.out
+                .open(format!("Err({err_ty}::{variant}(__e)) => {{"));
+            self.out.line(format!(
+                "::subcontract::encode_user_exception(__reply, {abs:?});"
+            ));
+            self.out.line("__e.idl_encode(__reply);");
+            self.out.close("}");
+        }
+        self.out
+            .line(format!("Err({err_ty}::System(__e)) => return Err(__e),"));
+        // Exceptions the operation did not declare are protocol violations;
+        // report them as system errors rather than leaking them raw.
+        let owner_exn_count = self.checked.interfaces[owner].exceptions.len();
+        if op.raises.len() < owner_exn_count {
+            self.out.open("Err(__e) => {");
+            self.out.line(
+                "::subcontract::encode_system_error(__reply, \
+                 &::std::string::ToString::to_string(&__e));",
+            );
+            self.out.close("}");
+        }
+        self.out.close("}");
+        self.out.line("Ok(())");
+        self.out.close("}");
+    }
+}
+
+/// Generates Rust code for a checked spec.
+pub fn generate(checked: &CheckedSpec) -> String {
+    let mut gen = Gen {
+        checked,
+        out: Out {
+            buf: String::new(),
+            indent: 0,
+        },
+        depth: 0,
+    };
+    gen.out
+        .line("// Generated by idlc (spring-idl). Do not edit.");
+    gen.out.line("");
+    gen.spec(&checked.spec.definitions);
+    gen.out.buf
+}

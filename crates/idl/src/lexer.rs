@@ -1,0 +1,322 @@
+//! Tokenizer for the IDL subset.
+
+use crate::IdlError;
+
+/// Token kinds produced by the lexer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A double-quoted string literal (unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `=`
+    Eq,
+    /// End of input (always the final token).
+    Eof,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, message: impl Into<String>) -> IdlError {
+        IdlError::new(self.line, self.col, message)
+    }
+}
+
+/// Tokenizes IDL source. Comments (`//` and `/* */`) are skipped.
+pub fn lex(source: &str) -> Result<Vec<Token>, IdlError> {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match cur.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    cur.bump();
+                }
+                Some(b'/') if cur.peek2() == Some(b'/') => {
+                    while let Some(b) = cur.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if cur.peek2() == Some(b'*') => {
+                    let (line, col) = (cur.line, cur.col);
+                    cur.bump();
+                    cur.bump();
+                    let mut closed = false;
+                    while let Some(b) = cur.bump() {
+                        if b == b'*' && cur.peek() == Some(b'/') {
+                            cur.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(IdlError::new(line, col, "unterminated block comment"));
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let (line, col) = (cur.line, cur.col);
+        let Some(b) = cur.peek() else {
+            out.push(Token {
+                kind: TokenKind::Eof,
+                line,
+                col,
+            });
+            return Ok(out);
+        };
+
+        let kind = match b {
+            b'{' => {
+                cur.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                cur.bump();
+                TokenKind::RBrace
+            }
+            b'(' => {
+                cur.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                cur.bump();
+                TokenKind::RParen
+            }
+            b'<' => {
+                cur.bump();
+                TokenKind::Lt
+            }
+            b'>' => {
+                cur.bump();
+                TokenKind::Gt
+            }
+            b'[' => {
+                cur.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                cur.bump();
+                TokenKind::RBracket
+            }
+            b';' => {
+                cur.bump();
+                TokenKind::Semi
+            }
+            b',' => {
+                cur.bump();
+                TokenKind::Comma
+            }
+            b'=' => {
+                cur.bump();
+                TokenKind::Eq
+            }
+            b':' => {
+                cur.bump();
+                if cur.peek() == Some(b':') {
+                    cur.bump();
+                    TokenKind::ColonColon
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            b'"' => {
+                cur.bump();
+                let mut s = String::new();
+                loop {
+                    match cur.bump() {
+                        Some(b'"') => break,
+                        Some(b'\n') | None => {
+                            return Err(IdlError::new(line, col, "unterminated string literal"))
+                        }
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'-' | b'0'..=b'9' => {
+                let mut text = String::new();
+                if b == b'-' {
+                    text.push('-');
+                    cur.bump();
+                }
+                while let Some(d) = cur.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d as char);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if text == "-" || text.is_empty() {
+                    return Err(IdlError::new(line, col, "malformed integer literal"));
+                }
+                let value: i64 = text.parse().map_err(|_| {
+                    IdlError::new(line, col, format!("integer {text} out of range"))
+                })?;
+                TokenKind::Int(value)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut s = String::new();
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            other => return Err(cur.err(format!("unexpected character {:?}", other as char))),
+        };
+        out.push(Token { kind, line, col });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("interface foo : a::b { };"),
+            vec![
+                Ident("interface".into()),
+                Ident("foo".into()),
+                Colon,
+                Ident("a".into()),
+                ColonColon,
+                Ident("b".into()),
+                LBrace,
+                RBrace,
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // line\n /* block\n over lines */ b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"const long x = -42; "hi""#),
+            vec![
+                Ident("const".into()),
+                Ident("long".into()),
+                Ident("x".into()),
+                Eq,
+                Int(-42),
+                Semi,
+                Str("hi".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = lex("ok $").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 4);
+
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("- ").is_err());
+    }
+}

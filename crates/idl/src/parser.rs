@@ -1,0 +1,600 @@
+//! Recursive-descent parser for the IDL subset.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use crate::IdlError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &'a Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = self.peek();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> IdlError {
+        let t = self.peek();
+        IdlError::new(t.line, t.col, message)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<&'a Token, IdlError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, IdlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Consumes a keyword (an identifier with a fixed spelling).
+    fn keyword(&mut self, kw: &str) -> Result<(), IdlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn spec(&mut self) -> Result<Spec, IdlError> {
+        let mut definitions = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            definitions.push(self.definition()?);
+        }
+        Ok(Spec { definitions })
+    }
+
+    fn definition(&mut self) -> Result<Definition, IdlError> {
+        match &self.peek().kind {
+            TokenKind::LBracket => self.interface().map(Definition::Interface),
+            TokenKind::Ident(kw) => match kw.as_str() {
+                "module" => self.module().map(Definition::Module),
+                "interface" => self.interface().map(Definition::Interface),
+                "struct" => self.struct_def().map(Definition::Struct),
+                "enum" => self.enum_def().map(Definition::Enum),
+                "exception" => self.exception().map(Definition::Exception),
+                "typedef" => self.typedef().map(Definition::Typedef),
+                "const" => self.const_def().map(Definition::Const),
+                other => Err(self.err(format!("expected a definition, found `{other}`"))),
+            },
+            other => Err(self.err(format!("expected a definition, found {other:?}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, IdlError> {
+        self.keyword("module")?;
+        let name = self.ident("module name")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut definitions = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.err("unterminated module"));
+            }
+            definitions.push(self.definition()?);
+        }
+        self.eat(&TokenKind::Semi);
+        Ok(Module { name, definitions })
+    }
+
+    fn interface(&mut self) -> Result<Interface, IdlError> {
+        // Optional `[subcontract = name]` annotation.
+        let mut subcontract = "singleton".to_owned();
+        if self.eat(&TokenKind::LBracket) {
+            self.keyword("subcontract")?;
+            self.expect(&TokenKind::Eq, "`=`")?;
+            subcontract = match &self.peek().kind {
+                TokenKind::Ident(s) => {
+                    let s = s.clone();
+                    self.bump();
+                    s
+                }
+                TokenKind::Str(s) => {
+                    let s = s.clone();
+                    self.bump();
+                    s
+                }
+                other => {
+                    return Err(self.err(format!("expected subcontract name, found {other:?}")))
+                }
+            };
+            self.expect(&TokenKind::RBracket, "`]`")?;
+        }
+
+        let line = self.peek().line;
+        self.keyword("interface")?;
+        let name = self.ident("interface name")?;
+
+        let mut parents = Vec::new();
+        if self.eat(&TokenKind::Colon) {
+            loop {
+                parents.push(self.scoped_name()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut ops = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.err("unterminated interface"));
+            }
+            if self.at_keyword("attribute") || self.at_keyword("readonly") {
+                self.attribute(&mut ops)?;
+            } else {
+                ops.push(self.operation()?);
+            }
+        }
+        self.eat(&TokenKind::Semi);
+        Ok(Interface {
+            name,
+            parents,
+            ops,
+            subcontract,
+            line,
+        })
+    }
+
+    /// Parses an attribute declaration, desugaring it into accessor
+    /// operations: `attribute T x;` becomes `T get_x()` and
+    /// `void set_x(in T v)`; `readonly` omits the setter. Name collisions
+    /// with explicit operations are caught by the checker like any other
+    /// duplicate.
+    fn attribute(&mut self, ops: &mut Vec<Operation>) -> Result<(), IdlError> {
+        let line = self.peek().line;
+        let readonly = self.at_keyword("readonly");
+        if readonly {
+            self.bump();
+        }
+        self.keyword("attribute")?;
+        let ty = self.type_spec(false)?;
+        loop {
+            let name = self.ident("attribute name")?;
+            ops.push(Operation {
+                name: format!("get_{name}"),
+                ret: ty.clone(),
+                params: Vec::new(),
+                raises: Vec::new(),
+                line,
+            });
+            if !readonly {
+                ops.push(Operation {
+                    name: format!("set_{name}"),
+                    ret: Type::Void,
+                    params: vec![Param {
+                        mode: ParamMode::In,
+                        ty: ty.clone(),
+                        name: "value".to_owned(),
+                    }],
+                    raises: Vec::new(),
+                    line,
+                });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(())
+    }
+
+    fn operation(&mut self) -> Result<Operation, IdlError> {
+        let line = self.peek().line;
+        let ret = self.type_spec(true)?;
+        let name = self.ident("operation name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma, "`,` or `)`")?;
+            }
+        }
+        let mut raises = Vec::new();
+        if self.at_keyword("raises") {
+            self.bump();
+            self.expect(&TokenKind::LParen, "`(`")?;
+            loop {
+                raises.push(self.scoped_name()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma, "`,` or `)`")?;
+            }
+        }
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(Operation {
+            name,
+            ret,
+            params,
+            raises,
+            line,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, IdlError> {
+        let mode = match &self.peek().kind {
+            TokenKind::Ident(s) => match s.as_str() {
+                "in" => ParamMode::In,
+                "out" => ParamMode::Out,
+                "inout" => ParamMode::InOut,
+                "copy" => ParamMode::Copy,
+                other => {
+                    return Err(self.err(format!(
+                        "expected parameter mode (in/out/inout/copy), found `{other}`"
+                    )))
+                }
+            },
+            other => return Err(self.err(format!("expected parameter mode, found {other:?}"))),
+        };
+        self.bump();
+        let ty = self.type_spec(false)?;
+        let name = self.ident("parameter name")?;
+        Ok(Param { mode, ty, name })
+    }
+
+    fn type_spec(&mut self, allow_void: bool) -> Result<Type, IdlError> {
+        let t = match &self.peek().kind {
+            TokenKind::Ident(s) => s.clone(),
+            other => return Err(self.err(format!("expected a type, found {other:?}"))),
+        };
+        match t.as_str() {
+            "void" if allow_void => {
+                self.bump();
+                Ok(Type::Void)
+            }
+            "void" => Err(self.err("`void` is only valid as a return type")),
+            "boolean" => {
+                self.bump();
+                Ok(Type::Bool)
+            }
+            "octet" => {
+                self.bump();
+                Ok(Type::Octet)
+            }
+            "short" => {
+                self.bump();
+                Ok(Type::Short)
+            }
+            "float" => {
+                self.bump();
+                Ok(Type::Float)
+            }
+            "double" => {
+                self.bump();
+                Ok(Type::Double)
+            }
+            "string" => {
+                self.bump();
+                Ok(Type::Str)
+            }
+            "object" => {
+                self.bump();
+                Ok(Type::Object)
+            }
+            "long" => {
+                self.bump();
+                if self.at_keyword("long") {
+                    self.bump();
+                    Ok(Type::LongLong)
+                } else {
+                    Ok(Type::Long)
+                }
+            }
+            "unsigned" => {
+                self.bump();
+                if self.at_keyword("short") {
+                    self.bump();
+                    Ok(Type::UShort)
+                } else if self.at_keyword("long") {
+                    self.bump();
+                    if self.at_keyword("long") {
+                        self.bump();
+                        Ok(Type::ULongLong)
+                    } else {
+                        Ok(Type::ULong)
+                    }
+                } else {
+                    Err(self.err("expected `short` or `long` after `unsigned`"))
+                }
+            }
+            "sequence" => {
+                self.bump();
+                self.expect(&TokenKind::Lt, "`<`")?;
+                let inner = self.type_spec(false)?;
+                self.expect(&TokenKind::Gt, "`>`")?;
+                Ok(Type::Sequence(Box::new(inner)))
+            }
+            _ => Ok(Type::Named(self.scoped_name()?)),
+        }
+    }
+
+    fn scoped_name(&mut self) -> Result<ScopedName, IdlError> {
+        let line = self.peek().line;
+        let mut segments = vec![self.ident("name")?];
+        while self.eat(&TokenKind::ColonColon) {
+            segments.push(self.ident("name segment")?);
+        }
+        Ok(ScopedName { segments, line })
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, IdlError> {
+        self.keyword("struct")?;
+        let name = self.ident("struct name")?;
+        let fields = self.field_block()?;
+        Ok(StructDef { name, fields })
+    }
+
+    fn exception(&mut self) -> Result<ExceptionDef, IdlError> {
+        self.keyword("exception")?;
+        let name = self.ident("exception name")?;
+        let fields = self.field_block()?;
+        Ok(ExceptionDef { name, fields })
+    }
+
+    fn field_block(&mut self) -> Result<Vec<Field>, IdlError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            let ty = self.type_spec(false)?;
+            let name = self.ident("field name")?;
+            self.expect(&TokenKind::Semi, "`;`")?;
+            fields.push(Field { ty, name });
+        }
+        self.eat(&TokenKind::Semi);
+        Ok(fields)
+    }
+
+    fn enum_def(&mut self) -> Result<EnumDef, IdlError> {
+        self.keyword("enum")?;
+        let name = self.ident("enum name")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut variants = Vec::new();
+        loop {
+            variants.push(self.ident("enum variant")?);
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            self.expect(&TokenKind::Comma, "`,` or `}`")?;
+            // Allow a trailing comma.
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+        }
+        self.eat(&TokenKind::Semi);
+        Ok(EnumDef { name, variants })
+    }
+
+    fn typedef(&mut self) -> Result<Typedef, IdlError> {
+        self.keyword("typedef")?;
+        let ty = self.type_spec(false)?;
+        let name = self.ident("typedef name")?;
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(Typedef { name, ty })
+    }
+
+    fn const_def(&mut self) -> Result<ConstDef, IdlError> {
+        self.keyword("const")?;
+        let ty = self.type_spec(false)?;
+        let name = self.ident("constant name")?;
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let value = match &self.peek().kind {
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.bump();
+                ConstValue::Int(v)
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                ConstValue::Str(s)
+            }
+            TokenKind::Ident(s) if s == "TRUE" => {
+                self.bump();
+                ConstValue::Bool(true)
+            }
+            TokenKind::Ident(s) if s == "FALSE" => {
+                self.bump();
+                ConstValue::Bool(false)
+            }
+            other => return Err(self.err(format!("expected a literal, found {other:?}"))),
+        };
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(ConstDef { name, ty, value })
+    }
+}
+
+/// Parses a token stream into a [`Spec`].
+pub fn parse(tokens: &[Token]) -> Result<Spec, IdlError> {
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.spec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Spec, IdlError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn minimal_interface() {
+        let spec = parse_src("interface empty { };").unwrap();
+        match &spec.definitions[0] {
+            Definition::Interface(i) => {
+                assert_eq!(i.name, "empty");
+                assert!(i.parents.is_empty());
+                assert!(i.ops.is_empty());
+                assert_eq!(i.subcontract, "singleton");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_with_everything() {
+        let src = r#"
+            module fs {
+                exception io_error { string reason; };
+                [subcontract = caching]
+                interface cacheable_file : file, versioned {
+                    sequence<octet> read(in long long offset, in long long count)
+                        raises (io_error);
+                    void share(copy file f, out string token);
+                };
+            };
+        "#;
+        let spec = parse_src(src).unwrap();
+        let Definition::Module(m) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(m.name, "fs");
+        let Definition::Interface(i) = &m.definitions[1] else {
+            panic!()
+        };
+        assert_eq!(i.subcontract, "caching");
+        assert_eq!(i.parents.len(), 2);
+        assert_eq!(i.ops.len(), 2);
+        assert_eq!(i.ops[0].raises[0].joined(), "io_error");
+        assert_eq!(i.ops[1].params[0].mode, ParamMode::Copy);
+        assert_eq!(i.ops[1].params[1].mode, ParamMode::Out);
+    }
+
+    #[test]
+    fn numeric_types() {
+        let src = r#"
+            interface nums {
+                unsigned long long big(in unsigned short a, in long long b, in unsigned long c);
+            };
+        "#;
+        let spec = parse_src(src).unwrap();
+        let Definition::Interface(i) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(i.ops[0].ret, Type::ULongLong);
+        assert_eq!(i.ops[0].params[0].ty, Type::UShort);
+        assert_eq!(i.ops[0].params[1].ty, Type::LongLong);
+        assert_eq!(i.ops[0].params[2].ty, Type::ULong);
+    }
+
+    #[test]
+    fn structs_enums_typedefs_consts() {
+        let src = r#"
+            struct point { double x; double y; };
+            enum color { red, green, blue, };
+            typedef sequence<point> path;
+            const long max_points = 128;
+            const string banner = "hello";
+            const boolean flag = TRUE;
+        "#;
+        let spec = parse_src(src).unwrap();
+        assert_eq!(spec.definitions.len(), 6);
+        let Definition::Enum(e) = &spec.definitions[1] else {
+            panic!()
+        };
+        assert_eq!(e.variants, vec!["red", "green", "blue"]);
+        let Definition::Const(c) = &spec.definitions[5] else {
+            panic!()
+        };
+        assert_eq!(c.value, ConstValue::Bool(true));
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse_src("interface x {")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
+        assert!(parse_src("interface x { void f(bad t); };")
+            .unwrap_err()
+            .message
+            .contains("parameter mode"));
+        assert!(parse_src("module m { zebra; };")
+            .unwrap_err()
+            .message
+            .contains("definition"));
+        assert!(parse_src("interface x { void f(in void v); };")
+            .unwrap_err()
+            .message
+            .contains("void"));
+    }
+
+    #[test]
+    fn attributes_desugar_to_accessors() {
+        let spec = parse_src(
+            r#"
+            interface thing {
+                readonly attribute long long size;
+                attribute string label, tag;
+            };
+            "#,
+        )
+        .unwrap();
+        let Definition::Interface(i) = &spec.definitions[0] else {
+            panic!()
+        };
+        let names: Vec<&str> = i.ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["get_size", "get_label", "set_label", "get_tag", "set_tag"]
+        );
+        assert_eq!(i.ops[0].ret, Type::LongLong);
+        assert_eq!(i.ops[2].params[0].mode, ParamMode::In);
+        assert_eq!(i.ops[2].params[0].ty, Type::Str);
+    }
+
+    #[test]
+    fn nested_modules() {
+        let spec = parse_src("module a { module b { interface c {}; }; };").unwrap();
+        let Definition::Module(a) = &spec.definitions[0] else {
+            panic!()
+        };
+        let Definition::Module(b) = &a.definitions[0] else {
+            panic!()
+        };
+        assert!(matches!(&b.definitions[0], Definition::Interface(i) if i.name == "c"));
+    }
+}

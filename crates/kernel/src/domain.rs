@@ -1,0 +1,147 @@
+//! Domain handles and the door-handler trait.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::DoorError;
+use crate::id::{DomainId, DoorId};
+use crate::kernel::Kernel;
+use crate::message::Message;
+
+/// Context passed to a [`DoorHandler`] for each incoming call.
+///
+/// Spring door calls shuttle the caller's thread into the serving domain;
+/// the context tells the handler which domain it is logically executing in
+/// (so it can perform kernel operations on that domain's behalf) and which
+/// domain issued the call.
+pub struct CallCtx {
+    /// The domain that issued the call.
+    pub caller: DomainId,
+    /// The domain serving the door; door identifiers in the incoming message
+    /// are owned by this domain, and identifiers placed in the reply must be
+    /// owned by it too.
+    pub server: Domain,
+}
+
+/// The target of a door: server-side code invoked for each call.
+///
+/// Handlers run on the caller's thread (Spring's thread shuttling), so they
+/// must be `Send + Sync`. A handler receives messages whose door identifiers
+/// have already been translated into the serving domain's table.
+pub trait DoorHandler: Send + Sync {
+    /// Processes one incoming call and produces the reply message.
+    fn invoke(&self, ctx: &CallCtx, msg: Message) -> Result<Message, DoorError>;
+
+    /// Called once when the last door identifier for this door is deleted,
+    /// so the server can clean up (§7: "the kernel will notify the door's
+    /// target ... so that it can clean up").
+    fn unreferenced(&self) {}
+}
+
+impl<F> DoorHandler for F
+where
+    F: Fn(&CallCtx, Message) -> Result<Message, DoorError> + Send + Sync,
+{
+    fn invoke(&self, ctx: &CallCtx, msg: Message) -> Result<Message, DoorError> {
+        self(ctx, msg)
+    }
+}
+
+/// A handle on one domain (simulated address space) of a [`Kernel`].
+///
+/// Cloning the handle does not create a new domain; it is the same domain
+/// observed from another place (handles are reference-like).
+#[derive(Clone)]
+pub struct Domain {
+    kernel: Kernel,
+    id: DomainId,
+}
+
+impl Domain {
+    pub(crate) fn new(kernel: Kernel, id: DomainId) -> Self {
+        Domain { kernel, id }
+    }
+
+    /// This domain's identifier.
+    pub fn id(&self) -> DomainId {
+        self.id
+    }
+
+    /// The kernel this domain belongs to.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The human-readable name given at creation.
+    pub fn name(&self) -> String {
+        self.kernel.domain_name(self.id)
+    }
+
+    /// Returns true while the domain has not crashed.
+    pub fn is_alive(&self) -> bool {
+        self.kernel.domain_alive(self.id)
+    }
+
+    /// Creates a door served by this domain and returns the first identifier.
+    pub fn create_door(&self, handler: Arc<dyn DoorHandler>) -> Result<DoorId, DoorError> {
+        self.kernel.create_door(self.id, handler)
+    }
+
+    /// Issues a call on a door identifier owned by this domain.
+    ///
+    /// Door identifiers carried by `msg` are transferred to the serving
+    /// domain; identifiers in the reply are transferred back to this domain.
+    pub fn call(&self, door: DoorId, msg: Message) -> Result<Message, DoorError> {
+        self.kernel.call(self.id, door, msg)
+    }
+
+    /// Copies a door identifier, yielding a second, independent identifier
+    /// for the same door (the kernel operation behind the simplex
+    /// subcontract's `copy`, §7).
+    pub fn copy_door(&self, door: DoorId) -> Result<DoorId, DoorError> {
+        self.kernel.copy_door(self.id, door)
+    }
+
+    /// Moves a door identifier to another domain without a door call
+    /// (used by infrastructure such as the network servers).
+    pub fn transfer_door(&self, door: DoorId, to: &Domain) -> Result<DoorId, DoorError> {
+        self.kernel.transfer_door(self.id, door, to.id)
+    }
+
+    /// Deletes a door identifier owned by this domain. Deleting the last
+    /// identifier for a door triggers the handler's
+    /// [`DoorHandler::unreferenced`] notification.
+    pub fn delete_door(&self, door: DoorId) -> Result<(), DoorError> {
+        self.kernel.delete_door(self.id, door)
+    }
+
+    /// Revokes a door served by this domain: outstanding identifiers remain
+    /// but every future call fails with [`DoorError::Revoked`] (§5.2.3).
+    pub fn revoke_door(&self, door: DoorId) -> Result<(), DoorError> {
+        self.kernel.revoke_door(self.id, door)
+    }
+
+    /// Returns true when `door` is a live identifier owned by this domain.
+    pub fn door_is_valid(&self, door: DoorId) -> bool {
+        self.kernel.door_is_valid(self.id, door)
+    }
+
+    /// Resolves an identifier to its kernel-internal door token (trusted
+    /// infrastructure only; see [`Kernel`] internals). Two identifiers
+    /// denote the same door iff their tokens are equal.
+    pub fn door_token(&self, door: DoorId) -> Result<u64, DoorError> {
+        self.kernel.door_token(self.id, door)
+    }
+
+    /// Simulates a crash of this domain: its doors are revoked and all door
+    /// identifiers it owns are deleted.
+    pub fn crash(&self) {
+        self.kernel.crash_domain(self.id);
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Domain({:?} on {:?})", self.id, self.kernel.node_id())
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for door operations.
+
+use std::fmt;
+
+/// Errors returned by door operations on the simulated nucleus.
+///
+/// The distinction that matters to subcontracts is *communication failure*
+/// versus *programming error*: the paper's replicon subcontract, for example,
+/// drops a replica and tries the next one only "if the door invocation fails
+/// due to a communications error" (§5.1.3). [`DoorError::is_comm_failure`]
+/// encodes that classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DoorError {
+    /// The door identifier is not owned by the calling domain, or has been
+    /// deleted. Capabilities are validated on every kernel operation.
+    InvalidDoor,
+    /// The door has been revoked by its server (§5.2.3), or the serving
+    /// domain has crashed.
+    Revoked,
+    /// The calling or serving domain is no longer alive.
+    DomainDead,
+    /// A network-level failure injected by the network servers (message
+    /// lost, partition, remote node unreachable).
+    Comm(String),
+    /// The door handler failed internally (for example, it panicked).
+    Handler(String),
+    /// The operation is not permitted (for example, revoking a door from a
+    /// domain that does not serve it).
+    NotPermitted,
+    /// A shared-memory region identifier did not resolve.
+    InvalidShm,
+}
+
+impl DoorError {
+    /// Returns true when the failure should be treated as a communications
+    /// error by fault-tolerant subcontracts (replicon, reconnectable).
+    pub fn is_comm_failure(&self) -> bool {
+        matches!(
+            self,
+            DoorError::Revoked | DoorError::DomainDead | DoorError::Comm(_)
+        )
+    }
+}
+
+impl fmt::Display for DoorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoorError::InvalidDoor => write!(f, "invalid door identifier"),
+            DoorError::Revoked => write!(f, "door revoked or server crashed"),
+            DoorError::DomainDead => write!(f, "domain is dead"),
+            DoorError::Comm(why) => write!(f, "communication failure: {why}"),
+            DoorError::Handler(why) => write!(f, "door handler failure: {why}"),
+            DoorError::NotPermitted => write!(f, "operation not permitted"),
+            DoorError::InvalidShm => write!(f, "invalid shared-memory region"),
+        }
+    }
+}
+
+impl std::error::Error for DoorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_failure_classification() {
+        assert!(DoorError::Revoked.is_comm_failure());
+        assert!(DoorError::DomainDead.is_comm_failure());
+        assert!(DoorError::Comm("lost".into()).is_comm_failure());
+        assert!(!DoorError::InvalidDoor.is_comm_failure());
+        assert!(!DoorError::Handler("x".into()).is_comm_failure());
+        assert!(!DoorError::NotPermitted.is_comm_failure());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = DoorError::Comm("partition".into()).to_string();
+        assert!(msg.contains("partition"));
+    }
+}

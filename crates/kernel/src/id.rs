@@ -1,0 +1,118 @@
+//! Identifier newtypes used throughout the simulated nucleus.
+
+use std::fmt;
+
+/// Identifies one simulated machine (one [`crate::Kernel`] instance).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u64);
+
+impl NodeId {
+    /// Returns the raw numeric value, mainly for logging and wire formats.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a `NodeId` from its raw value (used by network wire formats).
+    pub fn from_raw(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+/// Identifies a domain (a simulated address space) within one kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub(crate) u64);
+
+impl DomainId {
+    /// Returns the raw numeric value, mainly for logging.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain:{}", self.0)
+    }
+}
+
+/// A door identifier: a per-domain capability handle for one door.
+///
+/// A `DoorId` is only meaningful inside the domain that owns it (like a file
+/// descriptor). The kernel validates ownership on every operation, so a
+/// forged or stale identifier is rejected with
+/// [`DoorError::InvalidDoor`](crate::DoorError::InvalidDoor). Identifiers are
+/// never reused: each issue gets a fresh slot number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DoorId {
+    pub(crate) owner: DomainId,
+    pub(crate) slot: u64,
+}
+
+impl DoorId {
+    /// The domain this identifier belongs to.
+    pub fn owner(self) -> DomainId {
+        self.owner
+    }
+
+    /// The slot number within the owner's door table (for logging).
+    pub fn slot(self) -> u64 {
+        self.slot
+    }
+}
+
+impl fmt::Debug for DoorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "door:{}.{}", self.owner.0, self.slot)
+    }
+}
+
+/// Identifies a shared-memory region within one kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShmId(pub(crate) u64);
+
+impl ShmId {
+    /// Returns the raw numeric value for embedding in message payloads.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a `ShmId` from its raw value.
+    pub fn from_raw(raw: u64) -> Self {
+        ShmId(raw)
+    }
+}
+
+impl fmt::Debug for ShmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shm:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrips() {
+        assert_eq!(NodeId::from_raw(7).raw(), 7);
+        assert_eq!(ShmId::from_raw(9).raw(), 9);
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        let d = DoorId {
+            owner: DomainId(3),
+            slot: 12,
+        };
+        assert_eq!(format!("{d:?}"), "door:3.12");
+        assert_eq!(format!("{:?}", NodeId(1)), "node:1");
+        assert_eq!(format!("{:?}", DomainId(2)), "domain:2");
+        assert_eq!(format!("{:?}", ShmId(4)), "shm:4");
+    }
+}

@@ -1,0 +1,471 @@
+//! The simulated nucleus itself.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::domain::{CallCtx, Domain, DoorHandler};
+use crate::error::DoorError;
+use crate::id::{DomainId, DoorId, NodeId, ShmId};
+use crate::message::Message;
+use crate::shm::ShmRegion;
+use crate::stats::{KernelStats, StatsSnapshot};
+
+static NEXT_NODE: AtomicU64 = AtomicU64::new(1);
+
+/// One machine's nucleus: manages domains, doors, and door identifiers.
+///
+/// All operations on door identifiers go through the kernel, which validates
+/// capability ownership on every call. Handles are cheaply cloneable.
+#[derive(Clone)]
+pub struct Kernel {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    node: NodeId,
+    name: String,
+    state: Mutex<State>,
+    next_domain: AtomicU64,
+    next_door: AtomicU64,
+    next_slot: AtomicU64,
+    next_shm: AtomicU64,
+    stats: KernelStats,
+}
+
+#[derive(Default)]
+struct State {
+    domains: HashMap<DomainId, DomainEntry>,
+    doors: HashMap<u64, DoorEntry>,
+    shm: HashMap<ShmId, ShmRegion>,
+}
+
+struct DomainEntry {
+    name: String,
+    alive: bool,
+    /// Door table: slot number -> raw door.
+    table: HashMap<u64, u64>,
+}
+
+struct DoorEntry {
+    server: DomainId,
+    handler: Arc<dyn DoorHandler>,
+    /// Number of outstanding identifiers across all domains.
+    refs: u64,
+    revoked: bool,
+}
+
+impl Kernel {
+    /// Creates a fresh kernel (one simulated machine).
+    pub fn new(name: impl Into<String>) -> Self {
+        Kernel {
+            inner: Arc::new(Inner {
+                node: NodeId(NEXT_NODE.fetch_add(1, Ordering::Relaxed)),
+                name: name.into(),
+                state: Mutex::new(State::default()),
+                next_domain: AtomicU64::new(1),
+                next_door: AtomicU64::new(1),
+                next_slot: AtomicU64::new(1),
+                next_shm: AtomicU64::new(1),
+                stats: KernelStats::default(),
+            }),
+        }
+    }
+
+    /// This kernel's node identifier (unique within the process).
+    pub fn node_id(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The machine name given at creation.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Counter snapshot for benchmarking and tests.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of doors currently in existence.
+    pub fn live_doors(&self) -> usize {
+        self.inner.state.lock().doors.len()
+    }
+
+    /// Creates a new domain (a simulated address space).
+    pub fn create_domain(&self, name: impl Into<String>) -> Domain {
+        let id = DomainId(self.inner.next_domain.fetch_add(1, Ordering::Relaxed));
+        let entry = DomainEntry {
+            name: name.into(),
+            alive: true,
+            table: HashMap::new(),
+        };
+        self.inner.state.lock().domains.insert(id, entry);
+        Domain::new(self.clone(), id)
+    }
+
+    /// Rebuilds a [`Domain`] handle from an id (infrastructure use).
+    pub fn domain_handle(&self, id: DomainId) -> Domain {
+        Domain::new(self.clone(), id)
+    }
+
+    /// Creates a shared-memory region of `size` bytes.
+    pub fn create_shm(&self, size: usize) -> ShmRegion {
+        let id = ShmId(self.inner.next_shm.fetch_add(1, Ordering::Relaxed));
+        let region = ShmRegion::new(id, size);
+        self.inner.state.lock().shm.insert(id, region.clone());
+        region
+    }
+
+    /// Looks up a shared-memory region by identifier.
+    pub fn lookup_shm(&self, id: ShmId) -> Result<ShmRegion, DoorError> {
+        self.inner
+            .state
+            .lock()
+            .shm
+            .get(&id)
+            .cloned()
+            .ok_or(DoorError::InvalidShm)
+    }
+
+    /// Removes a shared-memory region from the registry.
+    pub fn destroy_shm(&self, id: ShmId) {
+        self.inner.state.lock().shm.remove(&id);
+    }
+
+    pub(crate) fn domain_name(&self, id: DomainId) -> String {
+        self.inner
+            .state
+            .lock()
+            .domains
+            .get(&id)
+            .map(|d| d.name.clone())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn domain_alive(&self, id: DomainId) -> bool {
+        self.inner
+            .state
+            .lock()
+            .domains
+            .get(&id)
+            .map(|d| d.alive)
+            .unwrap_or(false)
+    }
+
+    fn fresh_slot(&self) -> u64 {
+        self.inner.next_slot.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn create_door(
+        &self,
+        domain: DomainId,
+        handler: Arc<dyn DoorHandler>,
+    ) -> Result<DoorId, DoorError> {
+        let raw = self.inner.next_door.fetch_add(1, Ordering::Relaxed);
+        let slot = self.fresh_slot();
+        let mut state = self.inner.state.lock();
+        let entry = state
+            .domains
+            .get_mut(&domain)
+            .ok_or(DoorError::DomainDead)?;
+        if !entry.alive {
+            return Err(DoorError::DomainDead);
+        }
+        entry.table.insert(slot, raw);
+        state.doors.insert(
+            raw,
+            DoorEntry {
+                server: domain,
+                handler,
+                refs: 1,
+                revoked: false,
+            },
+        );
+        self.inner
+            .stats
+            .doors_created
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.ids_issued.fetch_add(1, Ordering::Relaxed);
+        Ok(DoorId {
+            owner: domain,
+            slot,
+        })
+    }
+
+    /// Looks up the raw door a live identifier refers to, validating
+    /// capability ownership.
+    fn resolve(state: &State, domain: DomainId, id: DoorId) -> Result<u64, DoorError> {
+        if id.owner != domain {
+            return Err(DoorError::InvalidDoor);
+        }
+        let entry = state.domains.get(&domain).ok_or(DoorError::DomainDead)?;
+        if !entry.alive {
+            return Err(DoorError::DomainDead);
+        }
+        entry
+            .table
+            .get(&id.slot)
+            .copied()
+            .ok_or(DoorError::InvalidDoor)
+    }
+
+    pub(crate) fn copy_door(&self, domain: DomainId, id: DoorId) -> Result<DoorId, DoorError> {
+        let slot = self.fresh_slot();
+        let mut state = self.inner.state.lock();
+        let raw = Self::resolve(&state, domain, id)?;
+        state
+            .doors
+            .get_mut(&raw)
+            .ok_or(DoorError::InvalidDoor)?
+            .refs += 1;
+        state
+            .domains
+            .get_mut(&domain)
+            .expect("validated above")
+            .table
+            .insert(slot, raw);
+        self.inner.stats.ids_issued.fetch_add(1, Ordering::Relaxed);
+        Ok(DoorId {
+            owner: domain,
+            slot,
+        })
+    }
+
+    pub(crate) fn transfer_door(
+        &self,
+        from: DomainId,
+        id: DoorId,
+        to: DomainId,
+    ) -> Result<DoorId, DoorError> {
+        let slot = self.fresh_slot();
+        let mut state = self.inner.state.lock();
+        let raw = Self::resolve(&state, from, id)?;
+        {
+            let target = state.domains.get_mut(&to).ok_or(DoorError::DomainDead)?;
+            if !target.alive {
+                return Err(DoorError::DomainDead);
+            }
+            target.table.insert(slot, raw);
+        }
+        state
+            .domains
+            .get_mut(&from)
+            .expect("validated above")
+            .table
+            .remove(&id.slot);
+        self.inner
+            .stats
+            .ids_transferred
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(DoorId { owner: to, slot })
+    }
+
+    pub(crate) fn delete_door(&self, domain: DomainId, id: DoorId) -> Result<(), DoorError> {
+        let notify = {
+            let mut state = self.inner.state.lock();
+            let raw = Self::resolve(&state, domain, id)?;
+            state
+                .domains
+                .get_mut(&domain)
+                .expect("validated above")
+                .table
+                .remove(&id.slot);
+            self.inner.stats.ids_deleted.fetch_add(1, Ordering::Relaxed);
+            Self::drop_ref(&mut state, raw)
+        };
+        self.notify_unreferenced(notify);
+        Ok(())
+    }
+
+    /// Decrements a door's identifier count, removing the door when it hits
+    /// zero. Returns the handler to notify, if any. Caller must invoke the
+    /// notification outside the state lock.
+    fn drop_ref(state: &mut State, raw: u64) -> Option<Arc<dyn DoorHandler>> {
+        let entry = state.doors.get_mut(&raw)?;
+        entry.refs -= 1;
+        if entry.refs == 0 {
+            let entry = state.doors.remove(&raw).expect("entry exists");
+            Some(entry.handler)
+        } else {
+            None
+        }
+    }
+
+    fn notify_unreferenced(&self, handler: Option<Arc<dyn DoorHandler>>) {
+        if let Some(h) = handler {
+            self.inner
+                .stats
+                .unref_notifications
+                .fetch_add(1, Ordering::Relaxed);
+            // A handler panic during cleanup must not take down the caller.
+            let _ = catch_unwind(AssertUnwindSafe(|| h.unreferenced()));
+        }
+    }
+
+    pub(crate) fn revoke_door(&self, domain: DomainId, id: DoorId) -> Result<(), DoorError> {
+        let mut state = self.inner.state.lock();
+        let raw = Self::resolve(&state, domain, id)?;
+        let entry = state.doors.get_mut(&raw).ok_or(DoorError::InvalidDoor)?;
+        if entry.server != domain {
+            return Err(DoorError::NotPermitted);
+        }
+        entry.revoked = true;
+        self.inner.stats.revocations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Resolves an identifier to its kernel-internal door token. Two
+    /// identifiers denote the same door iff their tokens are equal.
+    ///
+    /// This pierces capability opacity, so it is meant for *trusted
+    /// infrastructure* only — Spring's network servers, which must recognize
+    /// doors they have already exported or proxied when mapping door
+    /// identifiers to and from their extended network form (§3.3).
+    pub(crate) fn door_token(&self, domain: DomainId, id: DoorId) -> Result<u64, DoorError> {
+        let state = self.inner.state.lock();
+        Self::resolve(&state, domain, id)
+    }
+
+    pub(crate) fn door_is_valid(&self, domain: DomainId, id: DoorId) -> bool {
+        let state = self.inner.state.lock();
+        Self::resolve(&state, domain, id).is_ok()
+    }
+
+    /// Marks a domain dead: doors it serves are revoked and every identifier
+    /// it owns is deleted.
+    pub(crate) fn crash_domain(&self, id: DomainId) {
+        let mut notifications = Vec::new();
+        {
+            let mut state = self.inner.state.lock();
+            let Some(entry) = state.domains.get_mut(&id) else {
+                return;
+            };
+            if !entry.alive {
+                return;
+            }
+            entry.alive = false;
+            let owned: Vec<u64> = entry.table.drain().map(|(_, raw)| raw).collect();
+            let mut revoked = 0u64;
+            for door in state.doors.values_mut() {
+                if door.server == id && !door.revoked {
+                    door.revoked = true;
+                    revoked += 1;
+                }
+            }
+            self.inner
+                .stats
+                .revocations
+                .fetch_add(revoked, Ordering::Relaxed);
+            self.inner
+                .stats
+                .ids_deleted
+                .fetch_add(owned.len() as u64, Ordering::Relaxed);
+            for raw in owned {
+                if let Some(h) = Self::drop_ref(&mut state, raw) {
+                    notifications.push(h);
+                }
+            }
+        }
+        for h in notifications {
+            self.notify_unreferenced(Some(h));
+        }
+    }
+
+    /// Executes a door call from `caller` on identifier `id`.
+    pub(crate) fn call(
+        &self,
+        caller: DomainId,
+        id: DoorId,
+        msg: Message,
+    ) -> Result<Message, DoorError> {
+        // Phase 1: validate, copy the payload, translate identifiers into
+        // the serving domain, and pick up the handler — all under the lock.
+        let (handler, server) = {
+            let state = self.inner.state.lock();
+            let raw = Self::resolve(&state, caller, id)?;
+            let entry = state.doors.get(&raw).ok_or(DoorError::InvalidDoor)?;
+            if entry.revoked {
+                return Err(DoorError::Revoked);
+            }
+            let server = entry.server;
+            let handler = Arc::clone(&entry.handler);
+            match state.domains.get(&server) {
+                Some(d) if d.alive => {}
+                _ => return Err(DoorError::Revoked),
+            }
+            (handler, server)
+        };
+
+        self.inner.stats.door_calls.fetch_add(1, Ordering::Relaxed);
+        let delivered = self.translate(caller, server, msg)?;
+
+        // Phase 2: run the handler outside the lock, on the caller's thread.
+        let ctx = CallCtx {
+            caller,
+            server: self.domain_handle(server),
+        };
+        let reply = match catch_unwind(AssertUnwindSafe(|| handler.invoke(&ctx, delivered))) {
+            Ok(result) => result?,
+            Err(_) => return Err(DoorError::Handler("door handler panicked".into())),
+        };
+
+        // Phase 3: translate the reply back to the caller.
+        self.translate(server, caller, reply)
+    }
+
+    /// Copies a message's payload (the simulated cross-address-space copy)
+    /// and transfers its door identifiers from `from` to `to`.
+    fn translate(&self, from: DomainId, to: DomainId, msg: Message) -> Result<Message, DoorError> {
+        self.inner
+            .stats
+            .bytes_copied
+            .fetch_add(msg.bytes.len() as u64, Ordering::Relaxed);
+        // Physical copy: a real kernel copies payload bytes between address
+        // spaces; this is the cost shared-memory subcontracts avoid.
+        let bytes = msg.bytes.clone();
+
+        let mut state = self.inner.state.lock();
+        // Validate every identifier before moving any, so a bad message
+        // leaves the sender's table untouched.
+        let mut raws = Vec::with_capacity(msg.doors.len());
+        for d in &msg.doors {
+            raws.push(Self::resolve(&state, from, *d)?);
+        }
+        if !state.domains.get(&to).map(|d| d.alive).unwrap_or(false) {
+            return Err(DoorError::DomainDead);
+        }
+        let mut doors = Vec::with_capacity(msg.doors.len());
+        for (d, raw) in msg.doors.iter().zip(raws) {
+            state
+                .domains
+                .get_mut(&from)
+                .expect("validated above")
+                .table
+                .remove(&d.slot);
+            let slot = self.inner.next_slot.fetch_add(1, Ordering::Relaxed);
+            state
+                .domains
+                .get_mut(&to)
+                .expect("validated above")
+                .table
+                .insert(slot, raw);
+            doors.push(DoorId { owner: to, slot });
+        }
+        self.inner
+            .stats
+            .ids_transferred
+            .fetch_add(doors.len() as u64, Ordering::Relaxed);
+        Ok(Message { bytes, doors })
+    }
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kernel({:?}, {:?})", self.inner.node, self.inner.name)
+    }
+}

@@ -1,0 +1,66 @@
+//! The unit of transfer between domains.
+
+use crate::id::DoorId;
+
+/// A message crossing a domain boundary: opaque bytes plus door identifiers.
+///
+/// Door identifiers are carried out-of-band from the byte payload, exactly as
+/// in Spring: the kernel must see every identifier so it can translate it
+/// into the receiving domain's door table. Marshalled byte streams reference
+/// identifiers by their index in [`Message::doors`].
+///
+/// Transfer semantics: when a message is sent through a door call, every
+/// identifier it carries is *moved* to the receiver — the sender's handle is
+/// deleted and a fresh handle is issued in the receiving domain. A sender
+/// that wants to retain access must copy the identifier first
+/// ([`crate::Domain::copy_door`]), which is precisely the distinction the
+/// paper draws between transmitting an object and copying it (§3.2).
+#[derive(Debug, Default)]
+pub struct Message {
+    /// Opaque payload bytes (physically copied across the domain boundary).
+    pub bytes: Vec<u8>,
+    /// Door identifiers transferred with the message, in slot order.
+    pub doors: Vec<DoorId>,
+}
+
+impl Message {
+    /// Creates an empty message.
+    pub fn new() -> Self {
+        Message::default()
+    }
+
+    /// Creates a message carrying only bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Message {
+            bytes,
+            doors: Vec::new(),
+        }
+    }
+
+    /// Total payload size in bytes (door identifiers are not counted; the
+    /// kernel transfers them without copying payload).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns true when the byte payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let m = Message::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        let m = Message::from_bytes(vec![1, 2]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!(m.doors.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulated shared-memory regions.
+//!
+//! Some Spring subcontracts use shared memory regions to communicate with
+//! their servers; `invoke_preamble` lets such a subcontract "adjust the
+//! communications buffer to point into the shared memory region so that
+//! arguments are directly marshalled into the region, rather than having to
+//! be copied there after all marshalling is complete" (§5.1.4). Normal door
+//! calls copy their payload bytes across the domain boundary; a shared
+//! region is visible to both sides without that copy.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::DoorError;
+use crate::id::ShmId;
+
+/// A shared-memory region, registered with one kernel and addressable by its
+/// [`ShmId`].
+///
+/// Cloning the handle shares the same underlying storage, modelling two
+/// domains mapping the same physical region.
+///
+/// # Examples
+///
+/// ```
+/// use spring_kernel::Kernel;
+///
+/// let kernel = Kernel::new("machine");
+/// let region = kernel.create_shm(64);
+/// region.map_mut().unwrap()[0] = 42;
+/// assert_eq!(region.with(|data| data[0]).unwrap(), 42);
+/// ```
+#[derive(Clone)]
+pub struct ShmRegion {
+    id: ShmId,
+    size: usize,
+    data: Arc<Mutex<Option<Vec<u8>>>>,
+}
+
+impl ShmRegion {
+    pub(crate) fn new(id: ShmId, size: usize) -> Self {
+        ShmRegion {
+            id,
+            size,
+            data: Arc::new(Mutex::new(Some(vec![0; size]))),
+        }
+    }
+
+    /// The region's kernel-wide identifier.
+    pub fn id(&self) -> ShmId {
+        self.id
+    }
+
+    /// The region's size in bytes, fixed at creation.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Maps the region for direct access.
+    ///
+    /// Only one mapping may be live at a time; a second concurrent mapping
+    /// fails with [`DoorError::InvalidShm`]. This models the exclusive
+    /// hand-off discipline shared-memory transports follow: the client fills
+    /// the region, then the server reads it, never both at once.
+    pub fn map_mut(&self) -> Result<MappedShm, DoorError> {
+        let data = self.data.lock().take().ok_or(DoorError::InvalidShm)?;
+        Ok(MappedShm {
+            region: self.clone(),
+            data: Some(data),
+        })
+    }
+
+    /// Runs `f` over a read-only view of the region.
+    ///
+    /// Fails if the region is currently mapped with [`ShmRegion::map_mut`].
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> Result<R, DoorError> {
+        let guard = self.data.lock();
+        let data = guard.as_ref().ok_or(DoorError::InvalidShm)?;
+        Ok(f(data))
+    }
+}
+
+impl fmt::Debug for ShmRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShmRegion({:?}, {} bytes)", self.id, self.size)
+    }
+}
+
+/// An exclusive mapping of a [`ShmRegion`].
+///
+/// Dereferences to the region's bytes; the contents are published back to the
+/// region when the mapping is dropped.
+#[derive(Debug)]
+pub struct MappedShm {
+    region: ShmRegion,
+    data: Option<Vec<u8>>,
+}
+
+impl Deref for MappedShm {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        // The Option is only `None` transiently inside `drop`.
+        self.data.as_ref().expect("mapping already unmapped")
+    }
+}
+
+impl DerefMut for MappedShm {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.data.as_mut().expect("mapping already unmapped")
+    }
+}
+
+impl Drop for MappedShm {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            *self.region.data.lock() = Some(data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ShmId;
+
+    #[test]
+    fn map_write_read_back() {
+        let region = ShmRegion::new(ShmId(1), 16);
+        {
+            let mut m = region.map_mut().unwrap();
+            m[0] = 0xAB;
+            m[15] = 0xCD;
+        }
+        let (a, b) = region.with(|d| (d[0], d[15])).unwrap();
+        assert_eq!((a, b), (0xAB, 0xCD));
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let region = ShmRegion::new(ShmId(2), 8);
+        let _m = region.map_mut().unwrap();
+        assert_eq!(region.map_mut().unwrap_err(), DoorError::InvalidShm);
+        assert_eq!(region.with(|_| ()).unwrap_err(), DoorError::InvalidShm);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let region = ShmRegion::new(ShmId(3), 4);
+        let other = region.clone();
+        region.map_mut().unwrap()[2] = 7;
+        assert_eq!(other.with(|d| d[2]).unwrap(), 7);
+        assert_eq!(other.size(), 4);
+        assert_eq!(other.id(), region.id());
+    }
+
+    #[test]
+    fn mapping_can_grow_buffer() {
+        // Marshalling may push past the initial size; the grown buffer is
+        // published back.
+        let region = ShmRegion::new(ShmId(4), 2);
+        {
+            let mut m = region.map_mut().unwrap();
+            m.extend_from_slice(&[1, 2, 3, 4]);
+        }
+        assert_eq!(region.with(|d| d.len()).unwrap(), 6);
+    }
+}

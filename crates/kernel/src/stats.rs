@@ -1,0 +1,96 @@
+//! Kernel-wide counters used by the benchmark harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters maintained by one [`crate::Kernel`].
+///
+/// The benchmark harness reports these alongside wall-clock timings because
+/// they are hardware independent: the paper's claims about resource usage
+/// (for example, the cluster subcontract sharing one door among many objects,
+/// §8.1) are checked against these counts, not against 1993 microseconds.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    pub(crate) doors_created: AtomicU64,
+    pub(crate) door_calls: AtomicU64,
+    pub(crate) bytes_copied: AtomicU64,
+    pub(crate) ids_issued: AtomicU64,
+    pub(crate) ids_deleted: AtomicU64,
+    pub(crate) ids_transferred: AtomicU64,
+    pub(crate) unref_notifications: AtomicU64,
+    pub(crate) revocations: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`KernelStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Doors created since kernel start.
+    pub doors_created: u64,
+    /// Door calls executed (including failed deliveries).
+    pub door_calls: u64,
+    /// Payload bytes physically copied across domain boundaries.
+    pub bytes_copied: u64,
+    /// Door identifiers issued (creation, copy, and transfer each issue one).
+    pub ids_issued: u64,
+    /// Door identifiers deleted.
+    pub ids_deleted: u64,
+    /// Door identifiers moved between domains by message transfer.
+    pub ids_transferred: u64,
+    /// Unreferenced notifications delivered to door handlers.
+    pub unref_notifications: u64,
+    /// Doors revoked (explicitly or by domain crash).
+    pub revocations: u64,
+}
+
+impl KernelStats {
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            doors_created: self.doors_created.load(Ordering::Relaxed),
+            door_calls: self.door_calls.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            ids_issued: self.ids_issued.load(Ordering::Relaxed),
+            ids_deleted: self.ids_deleted.load(Ordering::Relaxed),
+            ids_transferred: self.ids_transferred.load(Ordering::Relaxed),
+            unref_notifications: self.unref_notifications.load(Ordering::Relaxed),
+            revocations: self.revocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            doors_created: self.doors_created.saturating_sub(earlier.doors_created),
+            door_calls: self.door_calls.saturating_sub(earlier.door_calls),
+            bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
+            ids_issued: self.ids_issued.saturating_sub(earlier.ids_issued),
+            ids_deleted: self.ids_deleted.saturating_sub(earlier.ids_deleted),
+            ids_transferred: self.ids_transferred.saturating_sub(earlier.ids_transferred),
+            unref_notifications: self
+                .unref_notifications
+                .saturating_sub(earlier.unref_notifications),
+            revocations: self.revocations.saturating_sub(earlier.revocations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let stats = KernelStats::default();
+        stats.door_calls.fetch_add(1, Ordering::Relaxed);
+        stats.bytes_copied.fetch_add(10, Ordering::Relaxed);
+        let a = stats.snapshot();
+        stats.door_calls.fetch_add(2, Ordering::Relaxed);
+        stats.bytes_copied.fetch_add(10, Ordering::Relaxed);
+        let b = stats.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.door_calls, 2);
+        assert_eq!(d.bytes_copied, 10);
+        assert_eq!(d.doors_created, 0);
+    }
+}

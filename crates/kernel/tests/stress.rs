@@ -1,0 +1,95 @@
+//! Concurrency stress: many threads hammering doors, crashes included —
+//! the kernel must stay consistent and deadlock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spring_kernel::{CallCtx, DoorError, DoorHandler, Kernel, Message};
+
+struct Work {
+    calls: AtomicU64,
+}
+
+impl DoorHandler for Work {
+    fn invoke(&self, _ctx: &CallCtx, msg: Message) -> Result<Message, DoorError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(msg)
+    }
+}
+
+#[test]
+fn concurrent_callers_and_lifecycle_churn() {
+    let kernel = Kernel::new("stress");
+    let server = kernel.create_domain("server");
+    let work = Arc::new(Work {
+        calls: AtomicU64::new(0),
+    });
+    let door = server.create_door(work.clone() as Arc<_>).unwrap();
+
+    let threads = 8;
+    let per_thread = 300;
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let client = kernel.create_domain(format!("client-{t}"));
+        let copy = server.copy_door(door).unwrap();
+        let id = server.transfer_door(copy, &client).unwrap();
+        joins.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                // Interleave calls with identifier churn.
+                let extra = client.copy_door(id).unwrap();
+                let reply = client.call(id, Message::from_bytes(vec![i as u8])).unwrap();
+                assert_eq!(reply.bytes, vec![i as u8]);
+                client.delete_door(extra).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert_eq!(work.calls.load(Ordering::Relaxed), threads * per_thread);
+}
+
+#[test]
+fn crash_races_with_callers_without_corruption() {
+    let kernel = Kernel::new("stress");
+    let mut joins = Vec::new();
+    for round in 0..10 {
+        let server = kernel.create_domain(format!("server-{round}"));
+        let door = server
+            .create_door(Arc::new(|_: &CallCtx, m: Message| Ok(m)))
+            .unwrap();
+
+        let mut clients = Vec::new();
+        for c in 0..4 {
+            let client = kernel.create_domain(format!("client-{round}-{c}"));
+            let copy = server.copy_door(door).unwrap();
+            let id = server.transfer_door(copy, &client).unwrap();
+            clients.push((client, id));
+        }
+
+        // Callers race a crash; every call must either succeed or fail with
+        // a crash-class error.
+        for (client, id) in clients {
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    match client.call(id, Message::new()) {
+                        Ok(_) => {}
+                        Err(DoorError::Revoked) | Err(DoorError::DomainDead) => break,
+                        Err(other) => panic!("unexpected error: {other:?}"),
+                    }
+                }
+            }));
+        }
+        let crasher = server.clone();
+        joins.push(std::thread::spawn(move || {
+            std::thread::yield_now();
+            crasher.crash();
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    // The kernel's books still balance.
+    let stats = kernel.stats();
+    assert!(stats.ids_issued + stats.ids_transferred >= stats.ids_deleted);
+}

@@ -1,0 +1,130 @@
+//! Client stub for naming contexts (the "method table" for the interface).
+
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use subcontract::{
+    decode_reply_status, unmarshal_object, ReplyStatus, Resolver, Result, SpringError, SpringObj,
+    TypeInfo,
+};
+
+use crate::{ops, NAMING_CONTEXT_TYPE, NAMING_ERROR};
+
+/// Typed wrapper over a naming context object.
+///
+/// Like every stub it is subcontract-agnostic: the context object usually
+/// arrives via simplex, but it could equally be replicated or reconnectable.
+/// Implements [`Resolver`], so it can be installed as a domain's
+/// machine-local resolver with
+/// [`DomainCtx::set_resolver`](subcontract::DomainCtx::set_resolver).
+pub struct NameClient {
+    obj: SpringObj,
+}
+
+impl NameClient {
+    /// Wraps a naming context object, verifying its run-time type.
+    pub fn from_obj(obj: SpringObj) -> Result<NameClient> {
+        obj.narrow(&NAMING_CONTEXT_TYPE)?;
+        Ok(NameClient { obj })
+    }
+
+    /// The underlying object.
+    pub fn obj(&self) -> &SpringObj {
+        &self.obj
+    }
+
+    fn expect_ok(reply: &mut CommBuffer) -> Result<()> {
+        match decode_reply_status(reply)? {
+            ReplyStatus::Ok => Ok(()),
+            ReplyStatus::UserException(name) if name == NAMING_ERROR => {
+                Err(SpringError::ResolveFailed(reply.get_string()?))
+            }
+            ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
+        }
+    }
+
+    /// Binds a copy of `obj` under `name` (the IDL `copy` parameter mode:
+    /// the caller keeps the original).
+    pub fn bind(&self, name: &str, obj: &SpringObj) -> Result<()> {
+        let mut call = self.obj.start_call(ops::BIND)?;
+        call.put_string(name);
+        obj.marshal_copy(&mut call)?;
+        let mut reply = self.obj.invoke(call)?;
+        Self::expect_ok(&mut reply)
+    }
+
+    /// Binds `obj` under `name`, transmitting the object itself (the caller
+    /// ceases to have it, §3.2).
+    pub fn bind_consume(&self, name: &str, obj: SpringObj) -> Result<()> {
+        let mut call = self.obj.start_call(ops::BIND)?;
+        call.put_string(name);
+        obj.marshal(&mut call)?;
+        let mut reply = self.obj.invoke(call)?;
+        Self::expect_ok(&mut reply)
+    }
+
+    /// Resolves `name` to an object of the expected type.
+    pub fn resolve(&self, name: &str, expected: &'static TypeInfo) -> Result<SpringObj> {
+        let mut call = self.obj.start_call(ops::RESOLVE)?;
+        call.put_string(name);
+        let mut reply = self.obj.invoke(call)?;
+        Self::expect_ok(&mut reply)?;
+        unmarshal_object(self.obj.ctx(), expected, &mut reply)
+    }
+
+    /// Resolves a nested context and wraps it.
+    pub fn resolve_context(&self, name: &str) -> Result<NameClient> {
+        NameClient::from_obj(self.resolve(name, &NAMING_CONTEXT_TYPE)?)
+    }
+
+    /// Returns true when `name` resolves to a binding (object or context).
+    pub fn exists(&self, name: &str) -> bool {
+        self.resolve(name, &subcontract::OBJECT_TYPE).is_ok()
+    }
+
+    /// Removes the binding for `name`.
+    pub fn unbind(&self, name: &str) -> Result<()> {
+        let mut call = self.obj.start_call(ops::UNBIND)?;
+        call.put_string(name);
+        let mut reply = self.obj.invoke(call)?;
+        Self::expect_ok(&mut reply)
+    }
+
+    /// Lists the names bound in this context, sorted.
+    pub fn list(&self) -> Result<Vec<String>> {
+        let call = self.obj.start_call(ops::LIST)?;
+        let mut reply = self.obj.invoke(call)?;
+        Self::expect_ok(&mut reply)?;
+        let n = reply.get_seq_len(4)?;
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            names.push(reply.get_string()?);
+        }
+        Ok(names)
+    }
+
+    /// Creates (and returns) a nested context under `name`.
+    pub fn create_context(&self, name: &str) -> Result<NameClient> {
+        let mut call = self.obj.start_call(ops::CREATE_CONTEXT)?;
+        call.put_string(name);
+        let mut reply = self.obj.invoke(call)?;
+        Self::expect_ok(&mut reply)?;
+        NameClient::from_obj(unmarshal_object(
+            self.obj.ctx(),
+            &NAMING_CONTEXT_TYPE,
+            &mut reply,
+        )?)
+    }
+}
+
+impl Resolver for NameClient {
+    fn resolve(&self, name: &str, expected: &'static TypeInfo) -> Result<SpringObj> {
+        NameClient::resolve(self, name, expected)
+    }
+}
+
+/// Convenience: wraps a context object in an `Arc<dyn Resolver>` for
+/// [`DomainCtx::set_resolver`](subcontract::DomainCtx::set_resolver).
+pub fn resolver_from(obj: SpringObj) -> Result<Arc<dyn Resolver>> {
+    Ok(Arc::new(NameClient::from_obj(obj)?))
+}

@@ -1,0 +1,54 @@
+//! The Spring name service, built *on* the subcontract machinery.
+//!
+//! Spring provides naming as a user-mode service outside the kernel (§3.4),
+//! and several subcontracts lean on it: reconnectable re-resolves its object
+//! name after a crash (§8.3), caching resolves its cache manager name in a
+//! machine-local context (§8.2), and dynamic subcontract discovery maps
+//! subcontract identifiers to library names through "a network naming
+//! context" (§6.2).
+//!
+//! The service itself is an ordinary Spring object: a hierarchical
+//! `naming_context` exported through the simplex subcontract, with
+//! hand-written stubs ([`NameClient`]) playing the role the IDL compiler
+//! plays for the higher-level services. Bound objects are stored as live
+//! [`SpringObj`]s in the server's domain and marshal-copied out on resolve,
+//! so *any* subcontract's objects can be bound — including replicated and
+//! caching ones.
+//!
+//! [`SpringObj`]: subcontract::SpringObj
+
+mod client;
+mod property;
+mod server;
+
+pub use client::{resolver_from, NameClient};
+pub use property::{export_property, read_property, NamingLibraryNames, OP_VALUE, PROPERTY_TYPE};
+pub use server::NameServer;
+
+use subcontract::{ScId, TypeInfo, OBJECT_TYPE};
+
+/// Run-time type of naming context objects.
+pub static NAMING_CONTEXT_TYPE: TypeInfo = TypeInfo {
+    name: "naming_context",
+    parents: &[&OBJECT_TYPE],
+    default_subcontract: ScId::from_name("simplex"),
+};
+
+/// Operation numbers for the naming context interface.
+pub mod ops {
+    use subcontract::op_hash;
+
+    /// `bind(name, copy obj)`.
+    pub const BIND: u32 = op_hash("bind");
+    /// `resolve(name) -> object`.
+    pub const RESOLVE: u32 = op_hash("resolve");
+    /// `unbind(name)`.
+    pub const UNBIND: u32 = op_hash("unbind");
+    /// `list() -> sequence<string>`.
+    pub const LIST: u32 = op_hash("list");
+    /// `create_context(name) -> naming_context`.
+    pub const CREATE_CONTEXT: u32 = op_hash("create_context");
+}
+
+/// Name of the user exception raised by naming operations.
+pub const NAMING_ERROR: &str = "naming_error";

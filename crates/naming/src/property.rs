@@ -1,0 +1,115 @@
+//! String properties as Spring objects, and the §6.2 library-name context.
+//!
+//! The paper's dynamic discovery uses "a network naming context to map the
+//! subcontract identifier into a library name (e.g. replicon.so)". Our name
+//! service binds *objects*, so a library name is published as a tiny
+//! property object (one `value()` operation), bound under
+//! `subcontracts/<id>`; [`NamingLibraryNames`] implements the core
+//! [`LibraryNameContext`] trait by resolving and reading those properties —
+//! making the discovery path a real network lookup end to end.
+
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use spring_subcontracts::Simplex;
+use subcontract::{
+    decode_reply_status, encode_ok, op_hash, Dispatch, DomainCtx, LibraryNameContext, ReplyStatus,
+    Result, ScId, ServerCtx, ServerSubcontract, SpringError, SpringObj, TypeInfo, OBJECT_TYPE,
+};
+
+use crate::NameClient;
+
+/// Run-time type of property objects.
+pub static PROPERTY_TYPE: TypeInfo = TypeInfo {
+    name: "property",
+    parents: &[&OBJECT_TYPE],
+    default_subcontract: ScId::from_name("simplex"),
+};
+
+/// The property interface's single operation.
+pub const OP_VALUE: u32 = op_hash("value");
+
+struct PropertyServant {
+    value: String,
+}
+
+impl Dispatch for PropertyServant {
+    fn type_info(&self) -> &'static TypeInfo {
+        &PROPERTY_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        _args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        if op != OP_VALUE {
+            return Err(SpringError::UnknownOp(op));
+        }
+        encode_ok(reply);
+        reply.put_string(&self.value);
+        Ok(())
+    }
+}
+
+/// Exports an immutable string property as a Spring object.
+pub fn export_property(ctx: &Arc<DomainCtx>, value: impl Into<String>) -> Result<SpringObj> {
+    ctx.types().register(&PROPERTY_TYPE);
+    Simplex.export(
+        ctx,
+        Arc::new(PropertyServant {
+            value: value.into(),
+        }),
+    )
+}
+
+/// Reads a property object's value.
+pub fn read_property(obj: &SpringObj) -> Result<String> {
+    let call = obj.start_call(OP_VALUE)?;
+    let mut reply = obj.invoke(call)?;
+    match decode_reply_status(&mut reply)? {
+        ReplyStatus::Ok => Ok(reply.get_string()?),
+        ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
+    }
+}
+
+/// The §6.2 library-name context over the real name service.
+///
+/// Publish with [`NamingLibraryNames::publish`] (typically done by the
+/// administrator installing a library); domains consume it via
+/// [`DomainCtx::set_library_names`](subcontract::DomainCtx::set_library_names).
+pub struct NamingLibraryNames {
+    names: NameClient,
+    context: String,
+}
+
+impl NamingLibraryNames {
+    /// Wraps a naming-context stub; identifiers are looked up under
+    /// `<context>/<id>`.
+    pub fn new(names: NameClient, context: impl Into<String>) -> Arc<NamingLibraryNames> {
+        Arc::new(NamingLibraryNames {
+            names,
+            context: context.into(),
+        })
+    }
+
+    /// Publishes the library name for a subcontract identifier (creating
+    /// the context on first use).
+    pub fn publish(&self, ctx: &Arc<DomainCtx>, id: ScId, library: &str) -> Result<()> {
+        let _ = self.names.create_context(&self.context);
+        let prop = export_property(ctx, library)?;
+        let path = format!("{}/{}", self.context, id.raw());
+        let _ = self.names.unbind(&path);
+        self.names.bind_consume(&path, prop)
+    }
+}
+
+impl LibraryNameContext for NamingLibraryNames {
+    fn library_for(&self, id: ScId) -> Option<String> {
+        let path = format!("{}/{}", self.context, id.raw());
+        let obj = self.names.resolve(&path, &PROPERTY_TYPE).ok()?;
+        read_property(&obj).ok()
+    }
+}

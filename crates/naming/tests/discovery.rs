@@ -1,0 +1,166 @@
+//! §6.2 end to end, with a *real* network naming context: the subcontract
+//! identifier is mapped to a library name by resolving a property object in
+//! the name service, then the library is dynamically linked.
+
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use spring_kernel::Kernel;
+use spring_naming::{export_property, read_property, NameClient, NameServer, NamingLibraryNames};
+use spring_subcontracts::{
+    register_standard, standard_library, ReplicaGroup, Replicon, RepliconServer, Simplex, Singleton,
+};
+use subcontract::{
+    encode_ok, op_hash, unmarshal_object, Dispatch, DomainCtx, LibraryStore, Result, ScId,
+    ServerCtx, SpringError, SpringObj, TypeInfo, OBJECT_TYPE,
+};
+
+static COUNTER_TYPE: TypeInfo = TypeInfo {
+    name: "counter",
+    parents: &[&OBJECT_TYPE],
+    default_subcontract: Singleton::ID,
+};
+
+struct Fixed(i64);
+
+impl Dispatch for Fixed {
+    fn type_info(&self) -> &'static TypeInfo {
+        &COUNTER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        _args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        if op == op_hash("get") {
+            encode_ok(reply);
+            reply.put_i64(self.0);
+            Ok(())
+        } else {
+            Err(SpringError::UnknownOp(op))
+        }
+    }
+}
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    ctx.types().register(&COUNTER_TYPE);
+    ctx
+}
+
+fn ship(obj: SpringObj, to: &Arc<DomainCtx>) -> subcontract::Result<SpringObj> {
+    let from_ctx = obj.ctx().clone();
+    let tinfo = obj.type_info();
+    let mut buf = CommBuffer::new();
+    obj.marshal(&mut buf)?;
+    let mut msg = buf.into_message();
+    let mut moved = Vec::new();
+    for d in msg.doors {
+        moved.push(from_ctx.domain().transfer_door(d, to.domain())?);
+    }
+    msg.doors = moved;
+    let mut buf = CommBuffer::from_message(msg);
+    unmarshal_object(to, tinfo, &mut buf)
+}
+
+fn root_for(ns: &Arc<NameServer>, ctx: &Arc<DomainCtx>) -> NameClient {
+    NameClient::from_obj(ship(ns.root_object().unwrap(), ctx).unwrap()).unwrap()
+}
+
+#[test]
+fn property_objects_roundtrip() {
+    let kernel = Kernel::new("t");
+    let a = ctx_on(&kernel, "a");
+    let b = ctx_on(&kernel, "b");
+    let prop = export_property(&a, "hello").unwrap();
+    let prop = ship(prop, &b).unwrap();
+    assert_eq!(read_property(&prop).unwrap(), "hello");
+}
+
+#[test]
+fn discovery_through_the_real_name_service() {
+    let kernel = Kernel::new("t");
+    let ns_ctx = ctx_on(&kernel, "name-server");
+    let ns = NameServer::new(&ns_ctx);
+    let admin = ctx_on(&kernel, "admin");
+    let server = ctx_on(&kernel, "server");
+
+    // The administrator installs the library and publishes the mapping in
+    // the name service.
+    let store = LibraryStore::new();
+    store.install("replicon.so", "/usr/lib/subcontracts", standard_library());
+    let admin_names = NamingLibraryNames::new(root_for(&ns, &admin), "subcontracts");
+    admin_names
+        .publish(&admin, Replicon::ID, "replicon.so")
+        .unwrap();
+
+    // An old program linked only with the basic client-server subcontracts
+    // (it needs simplex to talk to naming at all), knowing nothing of
+    // replicated objects — the paper's §6.2 scenario verbatim.
+    let old = DomainCtx::new(kernel.create_domain("old-program"));
+    old.register_subcontract(Singleton::new());
+    old.register_subcontract(Simplex::new());
+    old.types().register(&COUNTER_TYPE);
+    old.configure_loader(store, vec!["/usr/lib/subcontracts".into()]);
+    old.set_library_names(NamingLibraryNames::new(root_for(&ns, &old), "subcontracts"));
+
+    // Receiving a replicon object triggers: registry miss → naming resolve
+    // ("subcontracts/<id>") → property read → dynamic link → unmarshal.
+    let group = ReplicaGroup::new();
+    group
+        .add(RepliconServer::new(&server, Arc::new(Fixed(77))).unwrap())
+        .unwrap();
+    let obj = group.object_for(&server).unwrap();
+    let arrived = ship(obj, &old).unwrap();
+    assert_eq!(arrived.subcontract().name(), "replicon");
+    let call = arrived.start_call(op_hash("get")).unwrap();
+    let mut reply = arrived.invoke(call).unwrap();
+    subcontract::decode_reply_status(&mut reply).unwrap();
+    assert_eq!(reply.get_i64().unwrap(), 77);
+}
+
+#[test]
+fn unpublished_ids_stay_unknown() {
+    let kernel = Kernel::new("t");
+    let ns_ctx = ctx_on(&kernel, "name-server");
+    let ns = NameServer::new(&ns_ctx);
+    let server = ctx_on(&kernel, "server");
+
+    let old = DomainCtx::new(kernel.create_domain("old-program"));
+    old.register_subcontract(Singleton::new());
+    old.register_subcontract(Simplex::new());
+    old.types().register(&COUNTER_TYPE);
+    old.configure_loader(LibraryStore::new(), vec!["/lib".into()]);
+    old.set_library_names(NamingLibraryNames::new(root_for(&ns, &old), "subcontracts"));
+
+    let group = ReplicaGroup::new();
+    group
+        .add(RepliconServer::new(&server, Arc::new(Fixed(1))).unwrap())
+        .unwrap();
+    let obj = group.object_for(&server).unwrap();
+    match ship(obj, &old) {
+        Err(SpringError::UnknownLibrary(id)) => assert_eq!(id, Replicon::ID),
+        other => panic!("expected unknown library, got {other:?}"),
+    }
+}
+
+#[test]
+fn publish_overwrites_previous_mapping() {
+    let kernel = Kernel::new("t");
+    let ns_ctx = ctx_on(&kernel, "name-server");
+    let ns = NameServer::new(&ns_ctx);
+    let admin = ctx_on(&kernel, "admin");
+
+    let names = NamingLibraryNames::new(root_for(&ns, &admin), "subcontracts");
+    let id = ScId::from_name("thing");
+    names.publish(&admin, id, "v1.so").unwrap();
+    names.publish(&admin, id, "v2.so").unwrap();
+    assert_eq!(
+        subcontract::LibraryNameContext::library_for(&*names, id),
+        Some("v2.so".to_owned())
+    );
+}

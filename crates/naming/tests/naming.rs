@@ -1,0 +1,314 @@
+//! Name service tests: bind/resolve/unbind/list over real door calls,
+//! nesting, copy-mode binding, and use as the resolver behind the
+//! reconnectable and caching subcontracts.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spring_buf::CommBuffer;
+use spring_kernel::Kernel;
+use spring_naming::{resolver_from, NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring_subcontracts::{register_standard, Reconnectable, RetryPolicy, Singleton};
+use subcontract::{
+    encode_ok, op_hash, Dispatch, DomainCtx, Result, ServerCtx, ServerSubcontract, SpringError,
+    SpringObj, TypeInfo, OBJECT_TYPE,
+};
+
+static COUNTER_TYPE: TypeInfo = TypeInfo {
+    name: "counter",
+    parents: &[&OBJECT_TYPE],
+    default_subcontract: Singleton::ID,
+};
+
+const OP_GET: u32 = op_hash("get");
+const OP_ADD: u32 = op_hash("add");
+
+struct Counter {
+    value: Mutex<i64>,
+}
+
+impl Counter {
+    fn new(v: i64) -> Arc<Self> {
+        Arc::new(Counter {
+            value: Mutex::new(v),
+        })
+    }
+}
+
+impl Dispatch for Counter {
+    fn type_info(&self) -> &'static TypeInfo {
+        &COUNTER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        match op {
+            x if x == OP_GET => {
+                encode_ok(reply);
+                reply.put_i64(*self.value.lock());
+                Ok(())
+            }
+            x if x == OP_ADD => {
+                let d = args.get_i64()?;
+                let mut v = self.value.lock();
+                *v += d;
+                encode_ok(reply);
+                reply.put_i64(*v);
+                Ok(())
+            }
+            other => Err(SpringError::UnknownOp(other)),
+        }
+    }
+}
+
+fn get(obj: &SpringObj) -> i64 {
+    let call = obj.start_call(OP_GET).unwrap();
+    let mut reply = obj.invoke(call).unwrap();
+    match subcontract::decode_reply_status(&mut reply).unwrap() {
+        subcontract::ReplyStatus::Ok => reply.get_i64().unwrap(),
+        other => panic!("unexpected status {other:?}"),
+    }
+}
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    ctx.types().register(&COUNTER_TYPE);
+    ctx
+}
+
+/// Sets up a name server plus a client context holding a root context stub.
+fn setup(kernel: &Kernel) -> (Arc<NameServer>, Arc<DomainCtx>, NameClient) {
+    let server_ctx = ctx_on(kernel, "name-server");
+    let ns = NameServer::new(&server_ctx);
+    let client_ctx = ctx_on(kernel, "client");
+    let root = ns.root_object().unwrap();
+    // Hand the root context object to the client domain the way a real
+    // system would (here: direct kernel transfer of the marshalled form).
+    let mut buf = CommBuffer::new();
+    root.marshal(&mut buf).unwrap();
+    let mut msg = buf.into_message();
+    let mut moved = Vec::new();
+    for d in msg.doors {
+        moved.push(
+            server_ctx
+                .domain()
+                .transfer_door(d, client_ctx.domain())
+                .unwrap(),
+        );
+    }
+    msg.doors = moved;
+    let mut buf = CommBuffer::from_message(msg);
+    let obj = subcontract::unmarshal_object(&client_ctx, &NAMING_CONTEXT_TYPE, &mut buf).unwrap();
+    let client = NameClient::from_obj(obj).unwrap();
+    (ns, client_ctx, client)
+}
+
+#[test]
+fn bind_resolve_roundtrip_through_doors() {
+    let kernel = Kernel::new("t");
+    let (ns, _client_ctx, names) = setup(&kernel);
+
+    // A server in yet another domain exports a counter and binds it.
+    let svc_ctx = ctx_on(&kernel, "service");
+    let counter = Singleton.export(&svc_ctx, Counter::new(11)).unwrap();
+
+    // Bind from the service domain through its own stub.
+    let svc_names = NameClient::from_obj(ship_root(&ns, &svc_ctx)).unwrap();
+    svc_names.bind("svc/a", &counter).unwrap_err(); // No context "svc" yet.
+    svc_names.create_context("svc").unwrap();
+    svc_names.bind("svc/a", &counter).unwrap();
+
+    // The client resolves and invokes.
+    let resolved = names.resolve("svc/a", &COUNTER_TYPE).unwrap();
+    assert_eq!(get(&resolved), 11);
+}
+
+/// Ships a fresh root-context object into `ctx`'s domain.
+fn ship_root(ns: &Arc<NameServer>, ctx: &Arc<DomainCtx>) -> SpringObj {
+    let root = ns.root_object().unwrap();
+    let mut buf = CommBuffer::new();
+    root.marshal(&mut buf).unwrap();
+    let mut msg = buf.into_message();
+    let mut moved = Vec::new();
+    for d in msg.doors {
+        moved.push(ns.ctx().domain().transfer_door(d, ctx.domain()).unwrap());
+    }
+    msg.doors = moved;
+    let mut buf = CommBuffer::from_message(msg);
+    subcontract::unmarshal_object(ctx, &NAMING_CONTEXT_TYPE, &mut buf).unwrap()
+}
+
+#[test]
+fn copy_mode_bind_keeps_callers_object() {
+    let kernel = Kernel::new("t");
+    let (_ns, _client_ctx, names) = setup(&kernel);
+    let svc_ctx = names.obj().ctx().clone();
+
+    let counter = Singleton.export(&svc_ctx, Counter::new(1)).unwrap();
+    names.bind("c", &counter).unwrap();
+    // Copy-mode: the caller still owns its object.
+    assert_eq!(get(&counter), 1);
+
+    let resolved = names.resolve("c", &COUNTER_TYPE).unwrap();
+    assert_eq!(get(&resolved), 1);
+}
+
+#[test]
+fn bind_consume_transmits_the_object() {
+    let kernel = Kernel::new("t");
+    let (_ns, client_ctx, names) = setup(&kernel);
+
+    let counter = Singleton.export(&client_ctx, Counter::new(2)).unwrap();
+    names.bind_consume("gone", counter).unwrap();
+    // The binding works; the caller's object is gone by construction (moved).
+    let resolved = names.resolve("gone", &COUNTER_TYPE).unwrap();
+    assert_eq!(get(&resolved), 2);
+}
+
+#[test]
+fn duplicate_bind_and_missing_names_error() {
+    let kernel = Kernel::new("t");
+    let (_ns, client_ctx, names) = setup(&kernel);
+
+    let a = Singleton.export(&client_ctx, Counter::new(0)).unwrap();
+    names.bind("x", &a).unwrap();
+    match names.bind("x", &a) {
+        Err(SpringError::ResolveFailed(msg)) => assert!(msg.contains("already bound")),
+        other => panic!("expected naming error, got {other:?}"),
+    }
+    assert!(names.resolve("nope", &COUNTER_TYPE).is_err());
+    assert!(names.unbind("nope").is_err());
+
+    names.unbind("x").unwrap();
+    assert!(names.resolve("x", &COUNTER_TYPE).is_err());
+}
+
+#[test]
+fn list_and_nested_contexts() {
+    let kernel = Kernel::new("t");
+    let (_ns, client_ctx, names) = setup(&kernel);
+
+    let sub = names.create_context("dir").unwrap();
+    let a = Singleton.export(&client_ctx, Counter::new(1)).unwrap();
+    let b = Singleton.export(&client_ctx, Counter::new(2)).unwrap();
+    names.bind("top", &a).unwrap();
+    sub.bind("inner", &b).unwrap();
+
+    assert_eq!(
+        names.list().unwrap(),
+        vec!["dir".to_owned(), "top".to_owned()]
+    );
+    assert_eq!(sub.list().unwrap(), vec!["inner".to_owned()]);
+
+    // Path resolution reaches into the nested context.
+    let inner = names.resolve("dir/inner", &COUNTER_TYPE).unwrap();
+    assert_eq!(get(&inner), 2);
+
+    // Resolving the context itself yields a usable context object.
+    let dir = names.resolve_context("dir").unwrap();
+    assert_eq!(dir.list().unwrap(), vec!["inner".to_owned()]);
+}
+
+#[test]
+fn name_client_is_the_reconnectable_resolver() {
+    let kernel = Kernel::new("t");
+    let (ns, client_ctx, names) = setup(&kernel);
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        interval: std::time::Duration::from_millis(1),
+    };
+    client_ctx.register_subcontract(Reconnectable::with_policy(policy));
+    client_ctx.set_resolver(Arc::new(names));
+
+    // Generation 1.
+    let gen1 = ctx_on(&kernel, "svc-gen1");
+    gen1.register_subcontract(Reconnectable::with_policy(policy));
+    let obj = Reconnectable::export(&gen1, Counter::new(33), "svc").unwrap();
+    let gen1_names = NameClient::from_obj(ship_root(&ns, &gen1)).unwrap();
+    gen1_names.bind("svc", &obj).unwrap();
+
+    // Hand the object itself to the client.
+    let mut buf = CommBuffer::new();
+    obj.marshal(&mut buf).unwrap();
+    let mut msg = buf.into_message();
+    let mut moved = Vec::new();
+    for d in msg.doors {
+        moved.push(gen1.domain().transfer_door(d, client_ctx.domain()).unwrap());
+    }
+    msg.doors = moved;
+    let mut buf = CommBuffer::from_message(msg);
+    let client_obj = subcontract::unmarshal_object(&client_ctx, &COUNTER_TYPE, &mut buf).unwrap();
+    assert_eq!(get(&client_obj), 33);
+
+    // Crash and restart under the same name.
+    gen1.domain().crash();
+    gen1_names.obj(); // (the old stub is dead with its domain)
+    let gen2 = ctx_on(&kernel, "svc-gen2");
+    gen2.register_subcontract(Reconnectable::with_policy(policy));
+    let fresh = Reconnectable::export(&gen2, Counter::new(33), "svc").unwrap();
+    let gen2_names = NameClient::from_obj(ship_root(&ns, &gen2)).unwrap();
+    gen2_names.unbind("svc").unwrap();
+    gen2_names.bind("svc", &fresh).unwrap();
+
+    // The client's next call reconnects through the *real* name service.
+    assert_eq!(get(&client_obj), 33);
+}
+
+#[test]
+fn concurrent_binds_from_many_domains() {
+    let kernel = Kernel::new("t");
+    let (ns, _client_ctx, names) = setup(&kernel);
+
+    let mut joins = Vec::new();
+    for i in 0..8 {
+        let ctx = ctx_on(&kernel, &format!("svc-{i}"));
+        let stub = NameClient::from_obj(ship_root(&ns, &ctx)).unwrap();
+        joins.push(std::thread::spawn(move || {
+            let counter = Singleton.export(&ctx, Counter::new(i)).unwrap();
+            stub.bind(&format!("obj-{i}"), &counter).unwrap();
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert_eq!(names.list().unwrap().len(), 8);
+    for i in 0..8 {
+        let obj = names.resolve(&format!("obj-{i}"), &COUNTER_TYPE).unwrap();
+        assert_eq!(get(&obj), i);
+    }
+}
+
+#[test]
+fn resolver_from_helper() {
+    let kernel = Kernel::new("t");
+    let (_ns, client_ctx, names) = setup(&kernel);
+    let counter = Singleton.export(&client_ctx, Counter::new(9)).unwrap();
+    names.bind("k", &counter).unwrap();
+
+    let resolver = resolver_from(ship_like(&names)).unwrap();
+    let obj = resolver.resolve("k", &COUNTER_TYPE).unwrap();
+    assert_eq!(get(&obj), 9);
+}
+
+/// Copies the client's context object (same domain) for the helper test.
+fn ship_like(names: &NameClient) -> SpringObj {
+    names.obj().copy().unwrap()
+}
+
+#[test]
+fn exists_reports_bindings() {
+    let kernel = Kernel::new("t");
+    let (_ns, client_ctx, names) = setup(&kernel);
+    assert!(!names.exists("thing"));
+    let c = Singleton.export(&client_ctx, Counter::new(0)).unwrap();
+    names.bind("thing", &c).unwrap();
+    assert!(names.exists("thing"));
+    names.unbind("thing").unwrap();
+    assert!(!names.exists("thing"));
+}

@@ -1,0 +1,104 @@
+//! Network configuration and counters.
+
+use std::time::Duration;
+
+/// Tunable behaviour of the simulated network.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// One-way latency added to every network hop.
+    pub latency: Duration,
+    /// Maximum extra uniform jitter per hop.
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that an invocation message is lost.
+    pub drop_prob: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A lossless network with the given one-way latency.
+    pub fn with_latency(latency: Duration) -> Self {
+        NetConfig {
+            latency,
+            ..Default::default()
+        }
+    }
+}
+
+/// Point-in-time snapshot of the network's counters.
+///
+/// Message and byte counts are hardware independent, so benchmark tables
+/// report them alongside wall-clock time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Wire messages sent (calls, replies, and object transfers).
+    pub messages: u64,
+    /// Payload bytes sent over the wire.
+    pub bytes: u64,
+    /// Invocation messages lost to injected drops.
+    pub drops: u64,
+    /// Cross-node invocations forwarded through proxy doors.
+    pub calls_forwarded: u64,
+    /// Door identifiers mapped to network form (exports).
+    pub exports: u64,
+    /// Proxy doors fabricated on receiving nodes.
+    pub proxies_created: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            drops: self.drops.saturating_sub(earlier.drops),
+            calls_forwarded: self.calls_forwarded.saturating_sub(earlier.calls_forwarded),
+            exports: self.exports.saturating_sub(earlier.exports),
+            proxies_created: self.proxies_created.saturating_sub(earlier.proxies_created),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_inert() {
+        let c = NetConfig::default();
+        assert!(c.latency.is_zero());
+        assert!(c.jitter.is_zero());
+        assert_eq!(c.drop_prob, 0.0);
+        assert_eq!(
+            NetConfig::with_latency(Duration::from_millis(2))
+                .latency
+                .as_millis(),
+            2
+        );
+    }
+
+    #[test]
+    fn snapshot_diff_saturates() {
+        let a = NetStatsSnapshot {
+            messages: 5,
+            bytes: 100,
+            ..Default::default()
+        };
+        let b = NetStatsSnapshot {
+            messages: 9,
+            bytes: 50,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.messages, 4);
+        assert_eq!(d.bytes, 0); // Saturating, never negative.
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated network servers extending Spring doors across machines.
+//!
+//! "A set of network servers extend the door mechanism transparently over
+//! the network. This includes both forwarding door invocations over the
+//! network and also mapping door identifiers to and from an extended network
+//! form." (§3.3)
+//!
+//! A [`Network`] connects several nodes; each node owns its own
+//! [`spring_kernel::Kernel`] plus a privileged *network server* domain. When
+//! a message carrying door identifiers leaves a node, the network server
+//! maps each identifier to a network form `(origin node, export id)`; on the
+//! receiving node the network server either hands back a local identifier
+//! (the door is coming home) or fabricates a *proxy door* whose handler
+//! forwards invocations across the network. All of this is invisible to
+//! subcontracts: a replicon object whose replicas live on three machines
+//! holds three ordinary-looking door identifiers.
+//!
+//! Fault injection: configurable per-hop latency and jitter, probabilistic
+//! message loss (applied to invocation traffic), and node partitions —
+//! enough to reproduce the failure behaviour the caching, replicon, and
+//! reconnectable subcontracts are designed around.
+//!
+//! Simplifications (documented in DESIGN.md): network servers pin the doors
+//! they export (cross-network unreferenced notification is not propagated),
+//! and object-transfer traffic is reliable (loss applies to invocations).
+
+mod config;
+mod network;
+mod server;
+
+pub use config::{NetConfig, NetStatsSnapshot};
+pub use network::{Network, Node};

@@ -1,0 +1,264 @@
+//! The network itself: nodes, hops, fault injection.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spring_kernel::{Domain, DoorError, Kernel, Message, NodeId};
+
+use crate::config::{NetConfig, NetStatsSnapshot};
+use crate::server::{NetServer, WireCap};
+
+pub(crate) struct NetworkInner {
+    nodes: RwLock<HashMap<u64, Arc<NetServer>>>,
+    config: RwLock<NetConfig>,
+    partitions: RwLock<HashSet<(u64, u64)>>,
+    rng: Mutex<StdRng>,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    drops: AtomicU64,
+    calls_forwarded: AtomicU64,
+    exports: AtomicU64,
+    proxies: AtomicU64,
+}
+
+impl NetworkInner {
+    pub fn count_export(&self) {
+        self.exports.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_proxy(&self) {
+        self.proxies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn server(&self, node: u64) -> Result<Arc<NetServer>, DoorError> {
+        self.nodes
+            .read()
+            .get(&node)
+            .cloned()
+            .ok_or_else(|| DoorError::Comm(format!("unknown node {node}")))
+    }
+
+    fn check_link(&self, a: u64, b: u64) -> Result<(), DoorError> {
+        let key = (a.min(b), a.max(b));
+        if self.partitions.read().contains(&key) {
+            return Err(DoorError::Comm(format!(
+                "partition between nodes {a} and {b}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// One network hop: latency, jitter, accounting, and (for invocation
+    /// traffic) probabilistic loss.
+    fn hop(&self, bytes: usize, lossy: bool) -> Result<(), DoorError> {
+        let cfg = *self.config.read();
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        if lossy && cfg.drop_prob > 0.0 {
+            let roll: f64 = self.rng.lock().gen();
+            if roll < cfg.drop_prob {
+                self.drops.fetch_add(1, Ordering::Relaxed);
+                return Err(DoorError::Comm("message lost".into()));
+            }
+        }
+        let mut delay = cfg.latency;
+        if !cfg.jitter.is_zero() {
+            let extra = self.rng.lock().gen_range(0.0..1.0);
+            delay += cfg.jitter.mul_f64(extra);
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        Ok(())
+    }
+
+    /// Forwards a proxy-door invocation to its home node and returns the
+    /// reply. `msg`'s identifiers are owned by `from`'s network server.
+    pub fn forward_call(
+        &self,
+        from: &Arc<NetServer>,
+        target: WireCap,
+        msg: Message,
+    ) -> Result<Message, DoorError> {
+        self.calls_forwarded.fetch_add(1, Ordering::Relaxed);
+        self.check_link(from.node.raw(), target.origin)?;
+
+        let wire = from.to_wire(msg)?;
+        self.hop(wire.bytes.len(), true)?;
+
+        let home = self.server(target.origin)?;
+        let door = home.export_target(target.export)?;
+        let delivered = home.from_wire(wire)?;
+        let reply = home.domain.call(door, delivered)?;
+
+        // The reply travels back across the same link.
+        self.check_link(target.origin, from.node.raw())?;
+        let wire = home.to_wire(reply)?;
+        self.hop(wire.bytes.len(), true)?;
+        from.from_wire(wire)
+    }
+}
+
+/// A handle on one machine of the network.
+#[derive(Clone)]
+pub struct Node {
+    kernel: Kernel,
+}
+
+impl Node {
+    /// The node's kernel; create application domains through it.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The node identifier.
+    pub fn id(&self) -> NodeId {
+        self.kernel.node_id()
+    }
+}
+
+/// A simulated multi-machine network.
+///
+/// # Examples
+///
+/// ```
+/// use spring_net::{NetConfig, Network};
+///
+/// let net = Network::new(NetConfig::default());
+/// let a = net.add_node("alpha");
+/// let b = net.add_node("beta");
+/// assert_ne!(a.id(), b.id());
+/// ```
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl Network {
+    /// Creates an empty network with the given behaviour.
+    pub fn new(config: NetConfig) -> Arc<Network> {
+        Arc::new(Network {
+            inner: Arc::new(NetworkInner {
+                nodes: RwLock::new(HashMap::new()),
+                config: RwLock::new(config),
+                partitions: RwLock::new(HashSet::new()),
+                rng: Mutex::new(StdRng::seed_from_u64(0x5u64)),
+                messages: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                drops: AtomicU64::new(0),
+                calls_forwarded: AtomicU64::new(0),
+                exports: AtomicU64::new(0),
+                proxies: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Adds a machine: a fresh kernel plus its network server domain.
+    pub fn add_node(&self, name: impl Into<String>) -> Node {
+        let kernel = Kernel::new(name);
+        let domain = kernel.create_domain("network-server");
+        let server = NetServer::new(kernel.node_id(), domain, self.inner.clone());
+        self.inner
+            .nodes
+            .write()
+            .insert(kernel.node_id().raw(), server);
+        Node { kernel }
+    }
+
+    /// Replaces the network behaviour (latency, jitter, loss).
+    pub fn set_config(&self, config: NetConfig) {
+        *self.inner.config.write() = config;
+    }
+
+    /// Reseeds the loss/jitter RNG (determinism for tests).
+    pub fn reseed(&self, seed: u64) {
+        *self.inner.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+
+    /// Cuts the link between two nodes in both directions.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let key = (a.raw().min(b.raw()), a.raw().max(b.raw()));
+        self.inner.partitions.write().insert(key);
+    }
+
+    /// Heals the link between two nodes.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let key = (a.raw().min(b.raw()), a.raw().max(b.raw()));
+        self.inner.partitions.write().remove(&key);
+    }
+
+    /// Heals every partition.
+    pub fn heal_all(&self) {
+        self.inner.partitions.write().clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            bytes: self.inner.bytes.load(Ordering::Relaxed),
+            drops: self.inner.drops.load(Ordering::Relaxed),
+            calls_forwarded: self.inner.calls_forwarded.load(Ordering::Relaxed),
+            exports: self.inner.exports.load(Ordering::Relaxed),
+            proxies_created: self.inner.proxies.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Transfers a message (bytes plus door identifiers) from a domain on
+    /// one node to a domain on another — how marshalled objects move between
+    /// machines. Same-node transfers degrade to plain kernel transfers.
+    pub fn ship_message(
+        &self,
+        from: &Domain,
+        to: &Domain,
+        msg: Message,
+    ) -> Result<Message, DoorError> {
+        let from_node = from.kernel().node_id();
+        let to_node = to.kernel().node_id();
+        if from_node == to_node {
+            let mut doors = Vec::with_capacity(msg.doors.len());
+            for d in msg.doors {
+                doors.push(from.transfer_door(d, to)?);
+            }
+            return Ok(Message {
+                bytes: msg.bytes,
+                doors,
+            });
+        }
+
+        self.inner.check_link(from_node.raw(), to_node.raw())?;
+        let src = self.inner.server(from_node.raw())?;
+        let dst = self.inner.server(to_node.raw())?;
+
+        // Move identifiers into the sending network server, map to wire
+        // form, hop, and reverse on the receiving side. Object transfers
+        // ride a reliable stream, so no loss is applied.
+        let mut held = Vec::with_capacity(msg.doors.len());
+        for d in msg.doors {
+            held.push(from.transfer_door(d, &src.domain)?);
+        }
+        let wire = src.to_wire(Message {
+            bytes: msg.bytes,
+            doors: held,
+        })?;
+        self.inner.hop(wire.bytes.len(), false)?;
+        let arrived = dst.from_wire(wire)?;
+        let mut doors = Vec::with_capacity(arrived.doors.len());
+        for d in arrived.doors {
+            doors.push(dst.domain.transfer_door(d, to)?);
+        }
+        Ok(Message {
+            bytes: arrived.bytes,
+            doors,
+        })
+    }
+}
+
+impl subcontract::Transport for Network {
+    fn ship(&self, from: &Domain, to: &Domain, msg: Message) -> Result<Message, DoorError> {
+        self.ship_message(from, to, msg)
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-node network server: export tables and proxy doors.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spring_kernel::{CallCtx, Domain, DoorError, DoorHandler, DoorId, Message, NodeId};
+
+use crate::network::NetworkInner;
+
+/// A door identifier in its extended network form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct WireCap {
+    /// The node whose kernel serves the underlying door.
+    pub origin: u64,
+    /// Index into the origin node's export table.
+    pub export: u64,
+}
+
+/// A message in wire form.
+pub(crate) struct WireMessage {
+    pub bytes: Vec<u8>,
+    pub caps: Vec<WireCap>,
+}
+
+#[derive(Default)]
+struct Tables {
+    /// Export id -> the identifier the network server pins for remote users.
+    exports: HashMap<u64, DoorId>,
+    /// Door token -> export id (dedup: one export per door).
+    exports_by_token: HashMap<u64, u64>,
+    /// (origin, export) -> the retained identifier for the local proxy door.
+    proxies: HashMap<WireCap, DoorId>,
+    /// Door token of a proxy door -> its network target.
+    proxies_by_token: HashMap<u64, WireCap>,
+}
+
+/// One node's network server.
+pub(crate) struct NetServer {
+    pub node: NodeId,
+    pub domain: Domain,
+    tables: Mutex<Tables>,
+    next_export: AtomicU64,
+    net: Arc<NetworkInner>,
+}
+
+impl NetServer {
+    pub fn new(node: NodeId, domain: Domain, net: Arc<NetworkInner>) -> Arc<NetServer> {
+        Arc::new(NetServer {
+            node,
+            domain,
+            tables: Mutex::new(Tables::default()),
+            next_export: AtomicU64::new(1),
+            net,
+        })
+    }
+
+    /// Maps a door identifier (owned by this network server's domain) to
+    /// network form, consuming the identifier.
+    pub fn export_cap(&self, door: DoorId) -> Result<WireCap, DoorError> {
+        let token = self.domain.door_token(door)?;
+        let mut tables = self.tables.lock();
+
+        // A proxy door heading back out: pass its target through unchanged.
+        if let Some(&target) = tables.proxies_by_token.get(&token) {
+            drop(tables);
+            self.domain.delete_door(door)?;
+            return Ok(target);
+        }
+
+        // Already exported: the duplicate identifier is redundant.
+        if let Some(&export) = tables.exports_by_token.get(&token) {
+            drop(tables);
+            self.domain.delete_door(door)?;
+            return Ok(WireCap {
+                origin: self.node.raw(),
+                export,
+            });
+        }
+
+        let export = self.next_export.fetch_add(1, Ordering::Relaxed);
+        tables.exports.insert(export, door);
+        tables.exports_by_token.insert(token, export);
+        self.net.count_export();
+        Ok(WireCap {
+            origin: self.node.raw(),
+            export,
+        })
+    }
+
+    /// Maps a network-form capability back to a door identifier owned by
+    /// this network server's domain.
+    pub fn import_cap(self: &Arc<Self>, cap: WireCap) -> Result<DoorId, DoorError> {
+        if cap.origin == self.node.raw() {
+            // The identifier came home: mint a fresh one for the receiver.
+            let tables = self.tables.lock();
+            let pinned = *tables
+                .exports
+                .get(&cap.export)
+                .ok_or_else(|| DoorError::Comm(format!("stale export {}", cap.export)))?;
+            drop(tables);
+            return self.domain.copy_door(pinned);
+        }
+
+        // Foreign door: reuse or fabricate a proxy.
+        {
+            let tables = self.tables.lock();
+            if let Some(&retained) = tables.proxies.get(&cap) {
+                drop(tables);
+                return self.domain.copy_door(retained);
+            }
+        }
+        let handler = Arc::new(ProxyHandler {
+            target: cap,
+            server: Arc::downgrade(self),
+        });
+        let retained = self.domain.create_door(handler)?;
+        let issued = self.domain.copy_door(retained)?;
+        let token = self.domain.door_token(retained)?;
+        let mut tables = self.tables.lock();
+        tables.proxies.insert(cap, retained);
+        tables.proxies_by_token.insert(token, cap);
+        self.net.count_proxy();
+        Ok(issued)
+    }
+
+    /// Resolves an export id to the pinned door for call delivery.
+    pub fn export_target(&self, export: u64) -> Result<DoorId, DoorError> {
+        self.tables
+            .lock()
+            .exports
+            .get(&export)
+            .copied()
+            .ok_or_else(|| DoorError::Comm(format!("stale export {export}")))
+    }
+
+    /// Converts an outbound message (identifiers owned by this server's
+    /// domain) to wire form.
+    pub fn to_wire(&self, msg: Message) -> Result<WireMessage, DoorError> {
+        let mut caps = Vec::with_capacity(msg.doors.len());
+        for d in msg.doors {
+            caps.push(self.export_cap(d)?);
+        }
+        Ok(WireMessage {
+            bytes: msg.bytes,
+            caps,
+        })
+    }
+
+    /// Converts an inbound wire message to a local message whose identifiers
+    /// are owned by this server's domain.
+    pub fn from_wire(self: &Arc<Self>, wire: WireMessage) -> Result<Message, DoorError> {
+        let mut doors = Vec::with_capacity(wire.caps.len());
+        for cap in wire.caps {
+            doors.push(self.import_cap(cap)?);
+        }
+        Ok(Message {
+            bytes: wire.bytes,
+            doors,
+        })
+    }
+}
+
+/// Handler for a proxy door: forwards invocations across the network.
+struct ProxyHandler {
+    target: WireCap,
+    server: std::sync::Weak<NetServer>,
+}
+
+impl DoorHandler for ProxyHandler {
+    fn invoke(&self, _ctx: &CallCtx, msg: Message) -> Result<Message, DoorError> {
+        let server = self
+            .server
+            .upgrade()
+            .ok_or_else(|| DoorError::Comm("network server shut down".into()))?;
+        // The kernel has already translated `msg`'s identifiers into the
+        // network server's domain; forward over the network.
+        server.net.forward_call(&server, self.target, msg)
+    }
+}

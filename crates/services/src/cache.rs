@@ -1,0 +1,26 @@
+//! File-flavoured cache manager configuration.
+
+use std::sync::Arc;
+
+use spring_subcontracts::CacheManager;
+use subcontract::DomainCtx;
+
+use crate::idl::fs;
+
+/// Creates a cache manager configured for file objects: read-only file
+/// operations are cached; writes forward and invalidate.
+///
+/// Bind the object from [`CacheManager::export`] into the machine-local
+/// naming context under the manager name the file server advertises.
+pub fn file_cache_manager(ctx: &Arc<DomainCtx>) -> Arc<CacheManager> {
+    CacheManager::new(
+        ctx,
+        [
+            fs::file_ops::SIZE,
+            fs::file_ops::READ,
+            fs::file_ops::STAT,
+            fs::file_ops::VERSION,
+            fs::cacheable_file_ops::CACHE_MANAGER_NAME,
+        ],
+    )
+}

@@ -1,0 +1,277 @@
+//! An in-memory file server: the running example of the paper (§7).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use spring_subcontracts::{Caching, Simplex};
+use subcontract::{DomainCtx, Result, ServerSubcontract, SpringObj};
+
+use crate::idl::fs;
+
+/// Shorthand for the generated `io_error` exception.
+pub type FsError = fs::IoError;
+
+fn io_err(reason: impl Into<String>) -> fs::FileError {
+    fs::FileError::IoError(fs::IoError {
+        reason: reason.into(),
+    })
+}
+
+fn io_err_fs(reason: impl Into<String>) -> fs::FileSystemError {
+    fs::FileSystemError::IoError(fs::IoError {
+        reason: reason.into(),
+    })
+}
+
+/// One file's state.
+#[derive(Debug, Default)]
+struct FileNode {
+    content: Vec<u8>,
+    version: u64,
+}
+
+/// The shared store behind one file server.
+#[derive(Debug, Default)]
+struct Store {
+    files: RwLock<HashMap<String, Arc<Mutex<FileNode>>>>,
+}
+
+impl Store {
+    fn get(&self, name: &str) -> Option<Arc<Mutex<FileNode>>> {
+        self.files.read().get(name).cloned()
+    }
+}
+
+/// The in-memory file server: exports a `file_system` object plus per-file
+/// `file` / `cacheable_file` objects.
+pub struct FileServer {
+    ctx: Arc<DomainCtx>,
+    store: Arc<Store>,
+    manager_name: String,
+}
+
+impl FileServer {
+    /// Creates a file server in `ctx`'s domain. `manager_name` is the
+    /// machine-local name clients' caching subcontract resolves (§8.2).
+    pub fn new(ctx: &Arc<DomainCtx>, manager_name: impl Into<String>) -> Arc<FileServer> {
+        crate::register_fs_types(ctx);
+        Arc::new(FileServer {
+            ctx: ctx.clone(),
+            store: Arc::new(Store::default()),
+            manager_name: manager_name.into(),
+        })
+    }
+
+    /// Creates a file with initial contents (server-side convenience).
+    pub fn put(&self, name: &str, content: &[u8]) {
+        let node = Arc::new(Mutex::new(FileNode {
+            content: content.to_vec(),
+            version: 1,
+        }));
+        self.store.files.write().insert(name.to_owned(), node);
+    }
+
+    /// Exports the `file_system` object (via simplex).
+    pub fn export_fs(self: &Arc<Self>) -> Result<fs::FileSystem> {
+        let skel = fs::FileSystemSkeleton::new(Arc::new(FsServant {
+            server: self.clone(),
+        }));
+        let obj = Simplex.export(&self.ctx, skel)?;
+        fs::FileSystem::from_obj(obj)
+    }
+
+    /// Exports one file as a plain `file` object (singleton-style simplex).
+    pub fn export_file(self: &Arc<Self>, name: &str) -> Result<SpringObj> {
+        let node = self
+            .store
+            .get(name)
+            .ok_or(subcontract::SpringError::ResolveFailed(name.to_owned()))?;
+        let skel = fs::FileSkeleton::new(Arc::new(FileServant { node }));
+        Simplex.export(&self.ctx, skel)
+    }
+
+    /// Exports one file as a `cacheable_file` (caching subcontract).
+    pub fn export_cacheable(self: &Arc<Self>, name: &str) -> Result<SpringObj> {
+        let node = self
+            .store
+            .get(name)
+            .ok_or(subcontract::SpringError::ResolveFailed(name.to_owned()))?;
+        let skel = fs::CacheableFileSkeleton::new(Arc::new(CacheableFileServant {
+            inner: FileServant { node },
+            manager: self.manager_name.clone(),
+        }));
+        Caching::export(&self.ctx, skel, self.manager_name.clone())
+    }
+}
+
+/// Servant for plain files.
+struct FileServant {
+    node: Arc<Mutex<FileNode>>,
+}
+
+impl FileServant {
+    fn do_read(&self, offset: i64, count: i64) -> std::result::Result<Vec<u8>, String> {
+        if offset < 0 || count < 0 {
+            return Err("negative offset or count".to_owned());
+        }
+        let node = self.node.lock();
+        let start = (offset as usize).min(node.content.len());
+        let end = (start + count as usize).min(node.content.len());
+        Ok(node.content[start..end].to_vec())
+    }
+
+    fn do_write(&self, offset: i64, data: &[u8]) -> std::result::Result<(), String> {
+        if offset < 0 {
+            return Err("negative offset".to_owned());
+        }
+        let mut node = self.node.lock();
+        let end = offset as usize + data.len();
+        if node.content.len() < end {
+            node.content.resize(end, 0);
+        }
+        node.content[offset as usize..end].copy_from_slice(data);
+        node.version += 1;
+        Ok(())
+    }
+}
+
+impl fs::FileServant for FileServant {
+    fn size(&self) -> std::result::Result<i64, fs::FileError> {
+        Ok(self.node.lock().content.len() as i64)
+    }
+
+    fn read(&self, offset: i64, count: i64) -> std::result::Result<Vec<u8>, fs::FileError> {
+        self.do_read(offset, count).map_err(io_err)
+    }
+
+    fn write(&self, offset: i64, data: Vec<u8>) -> std::result::Result<(), fs::FileError> {
+        self.do_write(offset, &data).map_err(io_err)
+    }
+
+    fn truncate(&self, new_size: i64) -> std::result::Result<(), fs::FileError> {
+        if new_size < 0 {
+            return Err(io_err("negative size"));
+        }
+        let mut node = self.node.lock();
+        node.content.truncate(new_size as usize);
+        node.version += 1;
+        Ok(())
+    }
+
+    fn stat(&self) -> std::result::Result<fs::FileStat, fs::FileError> {
+        let node = self.node.lock();
+        Ok(fs::FileStat {
+            size: node.content.len() as i64,
+            version: node.version as i64,
+            writable: true,
+        })
+    }
+
+    fn version(&self) -> std::result::Result<i64, fs::FileError> {
+        Ok(self.node.lock().version as i64)
+    }
+}
+
+/// Servant for cacheable files: the file behaviour plus the manager name.
+struct CacheableFileServant {
+    inner: FileServant,
+    manager: String,
+}
+
+impl fs::FileServant for CacheableFileServant {
+    fn size(&self) -> std::result::Result<i64, fs::FileError> {
+        self.inner.size()
+    }
+
+    fn read(&self, offset: i64, count: i64) -> std::result::Result<Vec<u8>, fs::FileError> {
+        self.inner.read(offset, count)
+    }
+
+    fn write(&self, offset: i64, data: Vec<u8>) -> std::result::Result<(), fs::FileError> {
+        self.inner.write(offset, data)
+    }
+
+    fn truncate(&self, new_size: i64) -> std::result::Result<(), fs::FileError> {
+        self.inner.truncate(new_size)
+    }
+
+    fn stat(&self) -> std::result::Result<fs::FileStat, fs::FileError> {
+        self.inner.stat()
+    }
+
+    fn version(&self) -> std::result::Result<i64, fs::FileError> {
+        self.inner.version()
+    }
+}
+
+impl fs::CacheableFileServant for CacheableFileServant {
+    fn cache_manager_name(&self) -> std::result::Result<String, fs::CacheableFileError> {
+        Ok(self.manager.clone())
+    }
+}
+
+/// Servant for the file system itself.
+struct FsServant {
+    server: Arc<FileServer>,
+}
+
+impl fs::FileSystemServant for FsServant {
+    fn open(&self, name: String) -> std::result::Result<fs::File, fs::FileSystemError> {
+        let obj = self
+            .server
+            .export_file(&name)
+            .map_err(|e| io_err_fs(e.to_string()))?;
+        fs::File::from_obj(obj).map_err(fs::FileSystemError::System)
+    }
+
+    fn open_cached(
+        &self,
+        name: String,
+    ) -> std::result::Result<fs::CacheableFile, fs::FileSystemError> {
+        let obj = self
+            .server
+            .export_cacheable(&name)
+            .map_err(|e| io_err_fs(e.to_string()))?;
+        fs::CacheableFile::from_obj(obj).map_err(fs::FileSystemError::System)
+    }
+
+    fn create(&self, name: String) -> std::result::Result<(), fs::FileSystemError> {
+        let mut files = self.server.store.files.write();
+        if files.contains_key(&name) {
+            return Err(io_err_fs(format!("{name:?} already exists")));
+        }
+        files.insert(name, Arc::new(Mutex::new(FileNode::default())));
+        Ok(())
+    }
+
+    fn remove(&self, name: String) -> std::result::Result<(), fs::FileSystemError> {
+        match self.server.store.files.write().remove(&name) {
+            Some(_) => Ok(()),
+            None => Err(io_err_fs(format!("no such file {name:?}"))),
+        }
+    }
+
+    fn list(&self) -> std::result::Result<Vec<String>, fs::FileSystemError> {
+        let mut names: Vec<String> = self.server.store.files.read().keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn import_file(
+        &self,
+        name: String,
+        source: fs::File,
+    ) -> std::result::Result<(), fs::FileSystemError> {
+        // The source arrived in copy mode: this server owns its copy and can
+        // invoke it like any other object — even back across the network.
+        let size = source.size().map_err(|e| io_err_fs(e.to_string()))?;
+        let content = source.read(0, size).map_err(|e| io_err_fs(e.to_string()))?;
+        let node = Arc::new(Mutex::new(FileNode {
+            content,
+            version: 1,
+        }));
+        self.server.store.files.write().insert(name, node);
+        Ok(())
+    }
+}

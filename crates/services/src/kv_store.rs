@@ -1,0 +1,180 @@
+//! An in-memory key-value store behind the `kv.idl` interfaces.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spring_subcontracts::{ClusterServer, Simplex};
+use subcontract::{DomainCtx, Result, ServerSubcontract};
+
+use crate::idl::kv;
+
+fn kv_err(reason: impl Into<String>) -> kv::BucketError {
+    kv::BucketError::KvError(kv::KvError {
+        reason: reason.into(),
+    })
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    value: Vec<u8>,
+    version: u64,
+}
+
+/// One bucket's state.
+#[derive(Debug)]
+struct BucketState {
+    entries: RwLock<HashMap<String, Slot>>,
+    mode: RwLock<kv::Durability>,
+}
+
+impl Default for BucketState {
+    fn default() -> Self {
+        BucketState {
+            entries: RwLock::new(HashMap::new()),
+            mode: RwLock::new(kv::Durability::VolatileStore),
+        }
+    }
+}
+
+struct BucketServant {
+    state: Arc<BucketState>,
+}
+
+impl kv::BucketServant for BucketServant {
+    fn get_size(&self) -> std::result::Result<i64, kv::BucketError> {
+        Ok(self.state.entries.read().len() as i64)
+    }
+
+    fn get_mode(&self) -> std::result::Result<kv::Durability, kv::BucketError> {
+        Ok(*self.state.mode.read())
+    }
+
+    fn set_mode(&self, value: kv::Durability) -> std::result::Result<(), kv::BucketError> {
+        *self.state.mode.write() = value;
+        Ok(())
+    }
+
+    fn get(&self, key: String) -> std::result::Result<Vec<u8>, kv::BucketError> {
+        self.state
+            .entries
+            .read()
+            .get(&key)
+            .map(|s| s.value.clone())
+            .ok_or_else(|| kv_err(format!("no such key {key:?}")))
+    }
+
+    fn put(&self, key: String, value: Vec<u8>) -> std::result::Result<(), kv::BucketError> {
+        let mut entries = self.state.entries.write();
+        let slot = entries.entry(key).or_default();
+        slot.value = value;
+        slot.version += 1;
+        Ok(())
+    }
+
+    fn remove_key(&self, key: String) -> std::result::Result<bool, kv::BucketError> {
+        Ok(self.state.entries.write().remove(&key).is_some())
+    }
+
+    fn scan(&self, prefix: String) -> std::result::Result<Vec<kv::Entry>, kv::BucketError> {
+        let entries = self.state.entries.read();
+        let mut found: Vec<kv::Entry> = entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, s)| kv::Entry {
+                key: k.clone(),
+                value: s.value.clone(),
+                version: s.version as i64,
+            })
+            .collect();
+        found.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(found)
+    }
+
+    fn version_of(&self, key: String) -> std::result::Result<i64, kv::BucketError> {
+        self.state
+            .entries
+            .read()
+            .get(&key)
+            .map(|s| s.version as i64)
+            .ok_or_else(|| kv_err(format!("no such key {key:?}")))
+    }
+}
+
+/// The key-value store service: named buckets of binary values.
+///
+/// Buckets are exported through simplex by default, or through the cluster
+/// subcontract ([`KvStore::new_clustered`]) so that *all* buckets share one
+/// kernel door (§8.1) — the generated `Bucket` stubs are identical either
+/// way, which is the paper's whole point (§9.1).
+pub struct KvStore {
+    ctx: Arc<DomainCtx>,
+    buckets: RwLock<HashMap<String, Arc<BucketState>>>,
+    cluster: Option<Arc<ClusterServer>>,
+}
+
+impl KvStore {
+    /// Creates a store in `ctx`'s domain (buckets exported via simplex).
+    pub fn new(ctx: &Arc<DomainCtx>) -> Arc<KvStore> {
+        ctx.types().register(&kv::BUCKET_TYPE);
+        ctx.types().register(&kv::STORE_TYPE);
+        Arc::new(KvStore {
+            ctx: ctx.clone(),
+            buckets: RwLock::new(HashMap::new()),
+            cluster: None,
+        })
+    }
+
+    /// Creates a store whose buckets all share one kernel door via the
+    /// cluster subcontract.
+    pub fn new_clustered(ctx: &Arc<DomainCtx>) -> Result<Arc<KvStore>> {
+        ctx.types().register(&kv::BUCKET_TYPE);
+        ctx.types().register(&kv::STORE_TYPE);
+        Ok(Arc::new(KvStore {
+            ctx: ctx.clone(),
+            buckets: RwLock::new(HashMap::new()),
+            cluster: Some(ClusterServer::new(ctx)?),
+        }))
+    }
+
+    /// Exports the store object (via simplex).
+    pub fn export(self: &Arc<Self>) -> Result<kv::Store> {
+        let skel = kv::StoreSkeleton::new(Arc::new(StoreServant {
+            store: self.clone(),
+        }));
+        kv::Store::from_obj(Simplex.export(&self.ctx, skel)?)
+    }
+}
+
+struct StoreServant {
+    store: Arc<KvStore>,
+}
+
+impl kv::StoreServant for StoreServant {
+    fn open_bucket(&self, name: String) -> std::result::Result<kv::Bucket, kv::StoreError> {
+        let state = self.store.buckets.write().entry(name).or_default().clone();
+        let skel = kv::BucketSkeleton::new(Arc::new(BucketServant { state }));
+        // The same generated skeleton exports through either subcontract.
+        let obj = match &self.store.cluster {
+            Some(cluster) => cluster.export(skel),
+            None => Simplex.export(&self.store.ctx, skel),
+        }
+        .map_err(kv::StoreError::System)?;
+        kv::Bucket::from_obj(obj).map_err(kv::StoreError::System)
+    }
+
+    fn buckets(&self) -> std::result::Result<Vec<String>, kv::StoreError> {
+        let mut names: Vec<String> = self.store.buckets.read().keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn drop_bucket(&self, name: String) -> std::result::Result<(), kv::StoreError> {
+        match self.store.buckets.write().remove(&name) {
+            Some(_) => Ok(()),
+            None => Err(kv::StoreError::KvError(kv::KvError {
+                reason: format!("no such bucket {name:?}"),
+            })),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Replicated files: replicon objects over a write-fanout server group.
+//!
+//! The paper's replicon subcontract requires that "the servers are required
+//! to perform their own state synchronization" (§5). Here each replica
+//! applies mutations locally and forwards them to its peers through the
+//! generated `sync_write`/`sync_truncate` operations — ordinary remote
+//! invocations on peer objects, no new base-system facilities.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use spring_subcontracts::{ReplicaGroup, RepliconServer, Simplex};
+use subcontract::{DomainCtx, Result, ServerSubcontract};
+
+use crate::idl::fs;
+
+fn io_err(reason: impl Into<String>) -> fs::ReplicatedFileError {
+    fs::ReplicatedFileError::IoError(fs::IoError {
+        reason: reason.into(),
+    })
+}
+
+#[derive(Debug, Default)]
+struct ReplicaState {
+    content: Vec<u8>,
+    version: u64,
+}
+
+/// One replica's servant.
+struct ReplicaServant {
+    state: Mutex<ReplicaState>,
+    /// Peer objects for state synchronization (filled in after the whole
+    /// group exists).
+    peers: RwLock<Vec<fs::ReplicatedFile>>,
+    replica_count: RwLock<i32>,
+}
+
+impl ReplicaServant {
+    fn apply_write(&self, offset: i64, data: &[u8]) -> std::result::Result<(), String> {
+        if offset < 0 {
+            return Err("negative offset".to_owned());
+        }
+        let mut st = self.state.lock();
+        let end = offset as usize + data.len();
+        if st.content.len() < end {
+            st.content.resize(end, 0);
+        }
+        st.content[offset as usize..end].copy_from_slice(data);
+        st.version += 1;
+        Ok(())
+    }
+
+    fn apply_truncate(&self, new_size: i64) -> std::result::Result<(), String> {
+        if new_size < 0 {
+            return Err("negative size".to_owned());
+        }
+        let mut st = self.state.lock();
+        st.content.truncate(new_size as usize);
+        st.version += 1;
+        Ok(())
+    }
+
+    /// Fans a mutation out to the peers; dead peers are skipped (they will
+    /// be dropped from the group, and clients fail over via replicon).
+    fn fan_out(&self, f: impl Fn(&fs::ReplicatedFile) -> bool) {
+        for peer in self.peers.read().iter() {
+            let _ = f(peer);
+        }
+    }
+}
+
+impl fs::FileServant for ReplicaServant {
+    fn size(&self) -> std::result::Result<i64, fs::FileError> {
+        Ok(self.state.lock().content.len() as i64)
+    }
+
+    fn read(&self, offset: i64, count: i64) -> std::result::Result<Vec<u8>, fs::FileError> {
+        if offset < 0 || count < 0 {
+            return Err(fs::FileError::IoError(fs::IoError {
+                reason: "negative offset or count".into(),
+            }));
+        }
+        let st = self.state.lock();
+        let start = (offset as usize).min(st.content.len());
+        let end = (start + count as usize).min(st.content.len());
+        Ok(st.content[start..end].to_vec())
+    }
+
+    fn write(&self, offset: i64, data: Vec<u8>) -> std::result::Result<(), fs::FileError> {
+        self.apply_write(offset, &data)
+            .map_err(|r| fs::FileError::IoError(fs::IoError { reason: r }))?;
+        self.fan_out(|peer| peer.sync_write(offset, &data).is_ok());
+        Ok(())
+    }
+
+    fn truncate(&self, new_size: i64) -> std::result::Result<(), fs::FileError> {
+        self.apply_truncate(new_size)
+            .map_err(|r| fs::FileError::IoError(fs::IoError { reason: r }))?;
+        self.fan_out(|peer| peer.sync_truncate(new_size).is_ok());
+        Ok(())
+    }
+
+    fn stat(&self) -> std::result::Result<fs::FileStat, fs::FileError> {
+        let st = self.state.lock();
+        Ok(fs::FileStat {
+            size: st.content.len() as i64,
+            version: st.version as i64,
+            writable: true,
+        })
+    }
+
+    fn version(&self) -> std::result::Result<i64, fs::FileError> {
+        Ok(self.state.lock().version as i64)
+    }
+}
+
+impl fs::ReplicatedFileServant for ReplicaServant {
+    fn replica_count(&self) -> std::result::Result<i32, fs::ReplicatedFileError> {
+        Ok(*self.replica_count.read())
+    }
+
+    fn sync_write(
+        &self,
+        offset: i64,
+        data: Vec<u8>,
+    ) -> std::result::Result<(), fs::ReplicatedFileError> {
+        self.apply_write(offset, &data).map_err(io_err)
+    }
+
+    fn sync_truncate(&self, new_size: i64) -> std::result::Result<(), fs::ReplicatedFileError> {
+        self.apply_truncate(new_size).map_err(io_err)
+    }
+}
+
+/// A replicated file: a replicon group over write-fanout replica servants.
+pub struct ReplicatedFileGroup {
+    group: ReplicaGroup,
+    servants: Vec<Arc<ReplicaServant>>,
+    ctxs: Vec<Arc<DomainCtx>>,
+}
+
+impl ReplicatedFileGroup {
+    /// Builds one replica per context on a single machine. See
+    /// [`ReplicatedFileGroup::build_with_transport`] for replicas spread
+    /// across a network.
+    pub fn build(ctxs: &[Arc<DomainCtx>], initial: &[u8]) -> Result<ReplicatedFileGroup> {
+        Self::build_with_transport(ctxs, initial, Arc::new(subcontract::KernelTransport))
+    }
+
+    /// Builds one replica per context, all starting from `initial` content,
+    /// wires the peer mesh through `transport`, and forms the replicon
+    /// group.
+    pub fn build_with_transport(
+        ctxs: &[Arc<DomainCtx>],
+        initial: &[u8],
+        transport: Arc<dyn subcontract::Transport>,
+    ) -> Result<ReplicatedFileGroup> {
+        let group = ReplicaGroup::with_transport(transport.clone());
+        let mut servants = Vec::with_capacity(ctxs.len());
+
+        for ctx in ctxs {
+            crate::register_fs_types(ctx);
+            let servant = Arc::new(ReplicaServant {
+                state: Mutex::new(ReplicaState {
+                    content: initial.to_vec(),
+                    version: 1,
+                }),
+                peers: RwLock::new(Vec::new()),
+                replica_count: RwLock::new(ctxs.len() as i32),
+            });
+            let skel = fs::ReplicatedFileSkeleton::new(servant.clone());
+            group.add(RepliconServer::new(ctx, skel)?)?;
+            servants.push(servant);
+        }
+
+        // Wire the peer mesh: each replica gets a simplex object for every
+        // *other* replica to forward mutations to.
+        for (i, ctx) in ctxs.iter().enumerate() {
+            let mut peers = Vec::new();
+            for (j, peer_ctx) in ctxs.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let skel = fs::ReplicatedFileSkeleton::new(servants[j].clone());
+                let exported = Simplex.export(peer_ctx, skel)?;
+                let moved = subcontract::ship_object(
+                    &*transport,
+                    exported,
+                    ctx,
+                    &fs::REPLICATED_FILE_TYPE,
+                )?;
+                peers.push(fs::ReplicatedFile::from_obj(moved)?);
+            }
+            *servants[i].peers.write() = peers;
+        }
+
+        Ok(ReplicatedFileGroup {
+            group,
+            servants,
+            ctxs: ctxs.to_vec(),
+        })
+    }
+
+    /// Fabricates a client object holding one door per replica.
+    pub fn object_for(&self, ctx: &Arc<DomainCtx>) -> Result<fs::ReplicatedFile> {
+        crate::register_fs_types(ctx);
+        fs::ReplicatedFile::from_obj(self.group.object_for(ctx)?)
+    }
+
+    /// The underlying replicon group (membership management).
+    pub fn group(&self) -> &ReplicaGroup {
+        &self.group
+    }
+
+    /// Crashes replica `i`'s domain and removes it from the group, bumping
+    /// the epoch so clients pick up the survivors.
+    pub fn crash_replica(&self, i: usize) -> Result<()> {
+        self.ctxs[i].domain().crash();
+        // Drop the dead peer stubs so fan-out stops trying it quickly; the
+        // stubs in crashed domains died with their domain.
+        for (j, servant) in self.servants.iter().enumerate() {
+            if j != i {
+                servant.peers.write().retain(|p| {
+                    // A peer stub is dead when its door no longer works; we
+                    // keep it simple and drop stubs by position parity with
+                    // the crashed replica, detected by a failed ping.
+                    p.version().is_ok()
+                });
+                *servant.replica_count.write() = (self.group.len() - 1) as i32;
+            }
+        }
+        self.group.remove_dead()
+    }
+
+    /// Direct access to a replica's content (test observation).
+    pub fn replica_content(&self, i: usize) -> Vec<u8> {
+        self.servants[i].state.lock().content.clone()
+    }
+}

@@ -1,0 +1,160 @@
+//! Key-value store tests: the second IDL consumer, covering attributes
+//! (accessor desugaring), enums over the wire, and structs in sequences.
+
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use spring_kernel::Kernel;
+use spring_services::{kv, KvStore};
+use spring_subcontracts::register_standard;
+use subcontract::{unmarshal_object, DomainCtx, SpringObj};
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    ctx.types().register(&kv::BUCKET_TYPE);
+    ctx.types().register(&kv::STORE_TYPE);
+    ctx
+}
+
+fn ship(obj: SpringObj, to: &Arc<DomainCtx>) -> SpringObj {
+    let from_ctx = obj.ctx().clone();
+    let tinfo = obj.type_info();
+    let mut buf = CommBuffer::new();
+    obj.marshal(&mut buf).unwrap();
+    let mut msg = buf.into_message();
+    let mut moved = Vec::new();
+    for d in msg.doors {
+        moved.push(from_ctx.domain().transfer_door(d, to.domain()).unwrap());
+    }
+    msg.doors = moved;
+    let mut buf = CommBuffer::from_message(msg);
+    unmarshal_object(to, tinfo, &mut buf).unwrap()
+}
+
+fn client_store(kernel: &Kernel) -> (kv::Store, Arc<DomainCtx>) {
+    let server = ctx_on(kernel, "kv-server");
+    let client = ctx_on(kernel, "client");
+    let store = KvStore::new(&server);
+    let obj = ship(store.export().unwrap().into_obj(), &client);
+    (kv::Store::from_obj(obj).unwrap(), client)
+}
+
+#[test]
+fn put_get_remove_roundtrip() {
+    let kernel = Kernel::new("t");
+    let (store, _client) = client_store(&kernel);
+
+    let bucket = store.open_bucket("users").unwrap();
+    bucket.put("alice", b"admin").unwrap();
+    bucket.put("bob", b"guest").unwrap();
+
+    assert_eq!(bucket.get("alice").unwrap(), b"admin");
+    assert_eq!(bucket.get_size().unwrap(), 2);
+    assert!(bucket.remove_key("bob").unwrap());
+    assert!(!bucket.remove_key("bob").unwrap());
+    match bucket.get("bob").unwrap_err() {
+        kv::BucketError::KvError(e) => assert!(e.reason.contains("bob")),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn attributes_read_and_write_over_the_wire() {
+    let kernel = Kernel::new("t");
+    let (store, _client) = client_store(&kernel);
+    let bucket = store.open_bucket("cfg").unwrap();
+
+    // readonly attribute: getter only (set_size does not exist, enforced at
+    // compile time by this file compiling).
+    assert_eq!(bucket.get_size().unwrap(), 0);
+
+    // read-write enum attribute.
+    assert_eq!(bucket.get_mode().unwrap(), kv::Durability::VolatileStore);
+    bucket.set_mode(kv::Durability::PersistentStore).unwrap();
+    assert_eq!(bucket.get_mode().unwrap(), kv::Durability::PersistentStore);
+}
+
+#[test]
+fn scan_returns_structs_in_order() {
+    let kernel = Kernel::new("t");
+    let (store, _client) = client_store(&kernel);
+    let bucket = store.open_bucket("data").unwrap();
+
+    bucket.put("k/2", b"two").unwrap();
+    bucket.put("k/1", b"one").unwrap();
+    bucket.put("k/1", b"uno").unwrap(); // Version bumps to 2.
+    bucket.put("other", b"x").unwrap();
+
+    let hits = bucket.scan("k/").unwrap();
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].key, "k/1");
+    assert_eq!(hits[0].value, b"uno");
+    assert_eq!(hits[0].version, 2);
+    assert_eq!(hits[1].key, "k/2");
+    assert_eq!(bucket.version_of("k/1").unwrap(), 2);
+}
+
+#[test]
+fn buckets_share_state_across_opens() {
+    let kernel = Kernel::new("t");
+    let (store, _client) = client_store(&kernel);
+
+    let a = store.open_bucket("shared").unwrap();
+    let b = store.open_bucket("shared").unwrap();
+    a.put("k", b"v").unwrap();
+    assert_eq!(b.get("k").unwrap(), b"v");
+
+    assert_eq!(store.buckets().unwrap(), vec!["shared".to_owned()]);
+    store.drop_bucket("shared").unwrap();
+    assert!(store.buckets().unwrap().is_empty());
+    match store.drop_bucket("shared").unwrap_err() {
+        kv::StoreError::KvError(e) => assert!(e.reason.contains("shared")),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn bucket_objects_move_between_domains() {
+    let kernel = Kernel::new("t");
+    let (store, client) = client_store(&kernel);
+    let other = ctx_on(&kernel, "other");
+
+    let bucket = store.open_bucket("mv").unwrap();
+    bucket.put("here", b"data").unwrap();
+    let _ = client;
+    let moved = kv::Bucket::from_obj(ship(bucket.into_obj(), &other)).unwrap();
+    assert_eq!(moved.get("here").unwrap(), b"data");
+}
+
+#[test]
+fn clustered_store_shares_one_door_for_all_buckets() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "kv-server");
+    let client = ctx_on(&kernel, "client");
+
+    let before = kernel.stats();
+    let store = KvStore::new_clustered(&server).unwrap();
+    let store_stub =
+        kv::Store::from_obj(ship(store.export().unwrap().into_obj(), &client)).unwrap();
+
+    // Many buckets, identical generated stubs — but the cluster subcontract
+    // carries them all through a single kernel door (plus one for the store
+    // object itself).
+    let buckets: Vec<kv::Bucket> = (0..32)
+        .map(|i| store_stub.open_bucket(&format!("b{i}")).unwrap())
+        .collect();
+    let doors = kernel.stats().since(&before).doors_created;
+    assert_eq!(
+        doors, 2,
+        "cluster door + store door, regardless of bucket count"
+    );
+
+    for (i, b) in buckets.iter().enumerate() {
+        b.put("k", format!("v{i}").as_bytes()).unwrap();
+    }
+    for (i, b) in buckets.iter().enumerate() {
+        assert_eq!(b.get("k").unwrap(), format!("v{i}").into_bytes());
+        assert_eq!(b.obj().subcontract().name(), "cluster");
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end service tests over IDL-generated stubs: the file system on
+//! simplex, caching across "machines", replication with failover, and the
+//! copy-mode object parameter.
+
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use spring_kernel::Kernel;
+use spring_naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring_services::{file_cache_manager, fs, register_fs_types, FileServer, ReplicatedFileGroup};
+use spring_subcontracts::register_standard;
+use subcontract::{unmarshal_object, DomainCtx, SpringObj};
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    register_fs_types(&ctx);
+    ctx
+}
+
+/// Moves an object between domains on one kernel.
+fn ship(obj: SpringObj, to: &Arc<DomainCtx>) -> SpringObj {
+    let from_ctx = obj.ctx().clone();
+    let tinfo = obj.type_info();
+    let mut buf = CommBuffer::new();
+    obj.marshal(&mut buf).unwrap();
+    let mut msg = buf.into_message();
+    let mut moved = Vec::new();
+    for d in msg.doors {
+        moved.push(from_ctx.domain().transfer_door(d, to.domain()).unwrap());
+    }
+    msg.doors = moved;
+    let mut buf = CommBuffer::from_message(msg);
+    unmarshal_object(to, tinfo, &mut buf).unwrap()
+}
+
+#[test]
+fn file_system_via_generated_stubs() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "fileserver");
+    let client = ctx_on(&kernel, "client");
+
+    let fileserver = FileServer::new(&server, "cache_manager");
+    fileserver.put("/etc/motd", b"welcome to spring");
+    let fsys = fileserver.export_fs().unwrap();
+    let fsys = fs::FileSystem::from_obj(ship(fsys.into_obj(), &client)).unwrap();
+
+    // Directory operations.
+    assert_eq!(fsys.list().unwrap(), vec!["/etc/motd".to_owned()]);
+    fsys.create("/tmp/new").unwrap();
+    assert_eq!(fsys.list().unwrap().len(), 2);
+
+    // Open returns a file *object* — unmarshalled through its subcontract.
+    let f = fsys.open("/etc/motd").unwrap();
+    assert_eq!(f.size().unwrap(), 17);
+    assert_eq!(f.read(0, 7).unwrap(), b"welcome");
+    f.write(11, b"SPRING").unwrap();
+    assert_eq!(f.read(0, 17).unwrap(), b"welcome to SPRING");
+    let st = f.stat().unwrap();
+    assert_eq!(st.size, 17);
+    assert_eq!(st.version, 2);
+    assert!(st.writable);
+
+    // Errors arrive as typed user exceptions.
+    match fsys.open("/no/such").unwrap_err() {
+        fs::FileSystemError::IoError(e) => assert!(e.reason.contains("/no/such")),
+        other => panic!("expected io_error, got {other:?}"),
+    }
+    match fsys.create("/etc/motd").unwrap_err() {
+        fs::FileSystemError::IoError(e) => assert!(e.reason.contains("exists")),
+        other => panic!("expected io_error, got {other:?}"),
+    }
+
+    fsys.remove("/tmp/new").unwrap();
+    assert_eq!(fsys.list().unwrap().len(), 1);
+}
+
+#[test]
+fn truncate_and_bad_args() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "fileserver");
+    let fileserver = FileServer::new(&server, "m");
+    fileserver.put("f", b"0123456789");
+
+    let f = fs::File::from_obj(fileserver.export_file("f").unwrap()).unwrap();
+    f.truncate(4).unwrap();
+    assert_eq!(f.read(0, 100).unwrap(), b"0123");
+    match f.read(-1, 2).unwrap_err() {
+        fs::FileError::IoError(e) => assert!(e.reason.contains("negative")),
+        other => panic!("expected io_error, got {other:?}"),
+    }
+    match f.truncate(-5).unwrap_err() {
+        fs::FileError::IoError(e) => assert!(e.reason.contains("negative")),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn import_file_exercises_copy_mode() {
+    let kernel = Kernel::new("t");
+    let server_a = ctx_on(&kernel, "fs-a");
+    let server_b = ctx_on(&kernel, "fs-b");
+    let client = ctx_on(&kernel, "client");
+
+    let fs_a = FileServer::new(&server_a, "m");
+    fs_a.put("orig", b"payload");
+    let fs_b = FileServer::new(&server_b, "m");
+
+    let fsys_b =
+        fs::FileSystem::from_obj(ship(fs_b.export_fs().unwrap().into_obj(), &client)).unwrap();
+    let f = fs::File::from_obj(ship(fs_a.export_file("orig").unwrap(), &client)).unwrap();
+
+    // Copy mode: the client keeps its file object after the call.
+    fsys_b.import_file("copied", &f).unwrap();
+    assert_eq!(f.size().unwrap(), 7);
+
+    let copied = fsys_b.open("copied").unwrap();
+    assert_eq!(copied.read(0, 7).unwrap(), b"payload");
+}
+
+#[test]
+fn cacheable_files_cache_on_the_client_machine() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "fileserver");
+    let mgr_ctx = ctx_on(&kernel, "cache-manager");
+    let client = ctx_on(&kernel, "client");
+    let ns_ctx = ctx_on(&kernel, "name-server");
+
+    // Machine-local naming carries the cache manager.
+    let ns = NameServer::new(&ns_ctx);
+    let manager = file_cache_manager(&mgr_ctx);
+    let mgr_names = NameClient::from_obj(ship(ns.root_object().unwrap(), &mgr_ctx)).unwrap();
+    mgr_names
+        .bind("cache_manager", &manager.export().unwrap())
+        .unwrap();
+
+    let client_names = NameClient::from_obj(ship(ns.root_object().unwrap(), &client)).unwrap();
+    client.set_resolver(Arc::new(client_names));
+
+    let fileserver = FileServer::new(&server, "cache_manager");
+    fileserver.put("data", b"cached bytes");
+    let fsys = fs::FileSystem::from_obj(ship(fileserver.export_fs().unwrap().into_obj(), &client))
+        .unwrap();
+
+    // `open_cached` hands back a cacheable_file; its unmarshal attached to
+    // the local cache manager.
+    let f = fsys.open_cached("data").unwrap();
+    assert_eq!(f.cache_manager_name().unwrap(), "cache_manager");
+    for _ in 0..4 {
+        assert_eq!(f.read(0, 6).unwrap(), b"cached");
+    }
+    assert_eq!(manager.stats().attaches(), 1);
+    assert!(manager.stats().hits() >= 3);
+
+    // Writes invalidate; subsequent reads see fresh data.
+    f.write(0, b"CACHED").unwrap();
+    assert_eq!(f.read(0, 6).unwrap(), b"CACHED");
+}
+
+#[test]
+fn narrowing_discovers_richer_semantics() {
+    // §6.3: a client holding a `file` narrows it to `cacheable_file`.
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "fileserver");
+    let mgr_ctx = ctx_on(&kernel, "mgr");
+    let client = ctx_on(&kernel, "client");
+    let ns_ctx = ctx_on(&kernel, "ns");
+
+    let ns = NameServer::new(&ns_ctx);
+    let manager = file_cache_manager(&mgr_ctx);
+    let names = NameClient::from_obj(ship(ns.root_object().unwrap(), &mgr_ctx)).unwrap();
+    names
+        .bind("cache_manager", &manager.export().unwrap())
+        .unwrap();
+    let client_names = NameClient::from_obj(ship(ns.root_object().unwrap(), &client)).unwrap();
+    client.set_resolver(Arc::new(client_names));
+
+    let fileserver = FileServer::new(&server, "cache_manager");
+    fileserver.put("x", b"abc");
+    let cacheable = fileserver.export_cacheable("x").unwrap();
+    let arrived = ship(cacheable, &client);
+
+    // Statically a file, dynamically a cacheable_file.
+    let as_file = fs::File::from_obj(arrived).unwrap();
+    assert_eq!(as_file.size().unwrap(), 3);
+    let again = as_file.into_obj();
+    again.narrow(&fs::CACHEABLE_FILE_TYPE).unwrap();
+    let as_cacheable = fs::CacheableFile::from_obj(again).unwrap();
+    assert_eq!(as_cacheable.cache_manager_name().unwrap(), "cache_manager");
+}
+
+#[test]
+fn replicated_file_with_failover() {
+    let kernel = Kernel::new("t");
+    let replicas: Vec<Arc<DomainCtx>> = (0..3)
+        .map(|i| ctx_on(&kernel, &format!("replica-{i}")))
+        .collect();
+    let client = ctx_on(&kernel, "client");
+
+    let group = ReplicatedFileGroup::build(&replicas, b"genesis").unwrap();
+    let f = group.object_for(&client).unwrap();
+
+    assert_eq!(f.replica_count().unwrap(), 3);
+    assert_eq!(f.read(0, 7).unwrap(), b"genesis");
+
+    // Writes fan out to every replica.
+    f.write(0, b"GENESIS").unwrap();
+    for i in 0..3 {
+        assert_eq!(group.replica_content(i), b"GENESIS");
+    }
+
+    // Kill the replica the client would talk to first; reads fail over.
+    group.crash_replica(0).unwrap();
+    assert_eq!(f.read(0, 7).unwrap(), b"GENESIS");
+    // And writes still replicate across the survivors.
+    f.write(0, b"zENESIS").unwrap();
+    assert_eq!(group.replica_content(1), b"zENESIS");
+    assert_eq!(group.replica_content(2), b"zENESIS");
+}
+
+#[test]
+fn replicated_file_truncate_fans_out() {
+    let kernel = Kernel::new("t");
+    let replicas: Vec<Arc<DomainCtx>> = (0..2).map(|i| ctx_on(&kernel, &format!("r{i}"))).collect();
+    let client = ctx_on(&kernel, "client");
+
+    let group = ReplicatedFileGroup::build(&replicas, b"0123456789").unwrap();
+    let f = group.object_for(&client).unwrap();
+    f.truncate(3).unwrap();
+    assert_eq!(group.replica_content(0), b"012");
+    assert_eq!(group.replica_content(1), b"012");
+    assert_eq!(f.size().unwrap(), 3);
+}
+
+#[test]
+fn file_objects_can_be_bound_in_naming() {
+    // Any subcontract's objects can live in the name service — including
+    // the file system object itself.
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "fileserver");
+    let ns_ctx = ctx_on(&kernel, "ns");
+    let client = ctx_on(&kernel, "client");
+
+    register_fs_types(&ns_ctx);
+    let ns = NameServer::new(&ns_ctx);
+    let fileserver = FileServer::new(&server, "m");
+    fileserver.put("hello", b"hi");
+
+    let server_names = NameClient::from_obj(ship(ns.root_object().unwrap(), &server)).unwrap();
+    server_names.create_context("services").unwrap();
+    server_names
+        .bind_consume("services/fs", fileserver.export_fs().unwrap().into_obj())
+        .unwrap();
+
+    let client_names = NameClient::from_obj(ship(ns.root_object().unwrap(), &client)).unwrap();
+    let fsys = fs::FileSystem::from_obj(
+        client_names
+            .resolve("services/fs", &fs::FILE_SYSTEM_TYPE)
+            .unwrap(),
+    )
+    .unwrap();
+    let f = fsys.open("hello").unwrap();
+    assert_eq!(f.read(0, 2).unwrap(), b"hi");
+    let _ = NAMING_CONTEXT_TYPE;
+}

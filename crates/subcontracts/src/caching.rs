@@ -1,0 +1,372 @@
+//! The *caching* subcontract: invocations via a machine-local cache (§8.2).
+//!
+//! When a caching object is transmitted between machines, only the server
+//! door identifier (D1) and the cache manager name travel. The receiving
+//! side's unmarshal "resolves the cache manager name in a machine-local
+//! context to discover a suitable local cache manager and then presents the
+//! D1 door identifier to the local cache manager and receives a new D2.
+//! Whenever the subcontract performs an invoke operation it uses the D2 door
+//! identifier" — so every invocation goes to a cache on the local machine.
+//!
+//! The cache manager here is a generic memoizing interceptor: operations in
+//! its *cacheable set* are answered from the cache when possible; any other
+//! operation is forwarded to the server and invalidates the cache
+//! (write-through). The original Spring cache manager was the file system's
+//! coherent cache ([Nelson et al 1993]); cross-machine coherence is out of
+//! scope here and the simplification is recorded in DESIGN.md.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spring_buf::CommBuffer;
+use spring_kernel::{CallCtx, DoorHandler, DoorId, Message};
+use subcontract::{
+    decode_reply_status, encode_ok, get_obj_header, op_hash, put_obj_header, redispatch_if_foreign,
+    server_dispatch, Dispatch, DomainCtx, ObjParts, ReplyStatus, Repr, Result, ScId, ServerCtx,
+    ServerSubcontract, SpringError, SpringObj, Subcontract, TypeInfo, STATUS_OK,
+};
+
+/// Run-time type of cache manager objects.
+pub static CACHE_MANAGER_TYPE: TypeInfo = TypeInfo {
+    name: "cache_manager",
+    parents: &[&subcontract::OBJECT_TYPE],
+    default_subcontract: crate::simplex::Simplex::ID,
+};
+
+/// The cache manager's single operation: attach a server door, get a cache
+/// door back.
+pub const OP_ATTACH: u32 = op_hash("attach");
+
+/// Client representation: server door, cache door, and the manager name.
+#[derive(Debug)]
+struct CachingRepr {
+    /// D1: points at the real server.
+    d1: DoorId,
+    /// D2: points at the local cache; all invocations use this.
+    d2: DoorId,
+    /// Name of the cache manager, resolved machine-locally on unmarshal.
+    manager: String,
+}
+
+/// The caching subcontract (client side).
+#[derive(Debug, Default)]
+pub struct Caching;
+
+impl Caching {
+    /// The identifier carried in caching objects' marshalled form.
+    pub const ID: ScId = ScId::from_name("caching");
+
+    /// Creates the subcontract instance to register in a domain.
+    pub fn new() -> Arc<Caching> {
+        Arc::new(Caching)
+    }
+
+    /// Exports an object that clients will access through their local cache
+    /// managers. The server side is a plain door to the skeleton; the
+    /// cleverness is all in unmarshal on the receiving machines.
+    pub fn export(
+        ctx: &Arc<DomainCtx>,
+        disp: Arc<dyn Dispatch>,
+        manager_name: impl Into<String>,
+    ) -> Result<SpringObj> {
+        let type_info = disp.type_info();
+        ctx.types().register(type_info);
+        let handler = Arc::new(DirectHandler {
+            ctx: ctx.clone(),
+            disp,
+        });
+        let d1 = ctx.domain().create_door(handler)?;
+        // The exporting server needs no cache to reach itself: its D2 is a
+        // second identifier for the server door.
+        let d2 = ctx.domain().copy_door(d1)?;
+        Ok(SpringObj::assemble(
+            ctx.clone(),
+            type_info,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(CachingRepr {
+                d1,
+                d2,
+                manager: manager_name.into(),
+            }),
+        ))
+    }
+}
+
+/// A door handler that delivers calls straight to the skeleton (the wire the
+/// cache servants also speak when forwarding).
+pub(crate) struct DirectHandler {
+    pub(crate) ctx: Arc<DomainCtx>,
+    pub(crate) disp: Arc<dyn Dispatch>,
+}
+
+impl DoorHandler for DirectHandler {
+    fn unreferenced(&self) {
+        self.disp.unreferenced();
+    }
+
+    fn invoke(
+        &self,
+        cctx: &CallCtx,
+        msg: Message,
+    ) -> std::result::Result<Message, spring_kernel::DoorError> {
+        let mut args = CommBuffer::from_message(msg);
+        let mut reply = CommBuffer::new();
+        let sctx = ServerCtx {
+            ctx: self.ctx.clone(),
+            caller: cctx.caller,
+        };
+        server_dispatch(&sctx, &*self.disp, &mut args, &mut reply)?;
+        Ok(reply.into_message())
+    }
+}
+
+impl Subcontract for Caching {
+    fn id(&self) -> ScId {
+        Self::ID
+    }
+
+    fn name(&self) -> &'static str {
+        "caching"
+    }
+
+    fn invoke(&self, obj: &SpringObj, call: CommBuffer) -> Result<CommBuffer> {
+        let repr = obj.repr().downcast::<CachingRepr>(self.name())?;
+        // All invocations go through D2 — the local cache (§8.2).
+        let reply = obj.ctx().domain().call(repr.d2, call.into_message())?;
+        Ok(CommBuffer::from_message(reply))
+    }
+
+    fn marshal(&self, ctx: &Arc<DomainCtx>, parts: ObjParts, buf: &mut CommBuffer) -> Result<()> {
+        let repr = parts.repr.into_downcast::<CachingRepr>(self.name())?;
+        // Only D1 and the manager name travel; the local cache attachment
+        // is not meaningful on another machine.
+        put_obj_header(buf, Self::ID, &parts.type_name);
+        buf.put_door(repr.d1);
+        buf.put_string(&repr.manager);
+        let _ = ctx.domain().delete_door(repr.d2);
+        Ok(())
+    }
+
+    fn unmarshal(
+        &self,
+        ctx: &Arc<DomainCtx>,
+        expected: &'static TypeInfo,
+        buf: &mut CommBuffer,
+    ) -> Result<SpringObj> {
+        if let Some(obj) = redispatch_if_foreign(Self::ID, ctx, expected, buf)? {
+            return Ok(obj);
+        }
+        let (_, wire_name, actual) = get_obj_header(ctx, expected, buf)?;
+        let d1 = buf.get_door()?;
+        let manager = buf.get_string()?;
+
+        // Resolve the manager name in the machine-local context and attach:
+        // this is the "significant overhead to object unmarshalling" the
+        // paper trades for local invocations (§9.3).
+        let resolver = ctx.resolver()?;
+        let mgr = resolver.resolve(&manager, &CACHE_MANAGER_TYPE)?;
+        let mut call = mgr.start_call(OP_ATTACH)?;
+        let d1_for_mgr = ctx.domain().copy_door(d1)?;
+        call.put_door(d1_for_mgr);
+        let mut reply = mgr.invoke(call)?;
+        let d2 = match decode_reply_status(&mut reply)? {
+            ReplyStatus::Ok => reply.get_door()?,
+            ReplyStatus::UserException(name) => {
+                return Err(SpringError::UnknownUserException(name))
+            }
+        };
+
+        Ok(SpringObj::assemble_from_wire(
+            ctx.clone(),
+            wire_name,
+            actual,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(CachingRepr { d1, d2, manager }),
+        ))
+    }
+
+    fn copy(&self, obj: &SpringObj) -> Result<SpringObj> {
+        let repr = obj.repr().downcast::<CachingRepr>(self.name())?;
+        let domain = obj.ctx().domain();
+        Ok(obj.assemble_like(Repr::new(CachingRepr {
+            d1: domain.copy_door(repr.d1)?,
+            d2: domain.copy_door(repr.d2)?,
+            manager: repr.manager.clone(),
+        })))
+    }
+
+    fn consume(&self, ctx: &Arc<DomainCtx>, parts: ObjParts) -> Result<()> {
+        let repr = parts.repr.into_downcast::<CachingRepr>(self.name())?;
+        let _ = ctx.domain().delete_door(repr.d2);
+        ctx.domain().delete_door(repr.d1)?;
+        Ok(())
+    }
+}
+
+/// Counters a cache manager maintains (hardware-independent evidence for
+/// benchmark E4).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    forwards: AtomicU64,
+    invalidations: AtomicU64,
+    attaches: AtomicU64,
+}
+
+impl CacheStats {
+    /// Cache hits served locally.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cacheable operations that had to go to the server.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Non-cacheable operations forwarded to the server.
+    pub fn forwards(&self) -> u64 {
+        self.forwards.load(Ordering::Relaxed)
+    }
+
+    /// Cache invalidations caused by forwarded mutating operations.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Objects attached to this manager.
+    pub fn attaches(&self) -> u64 {
+        self.attaches.load(Ordering::Relaxed)
+    }
+}
+
+/// The machine-local cache manager service.
+///
+/// Exports one `attach` operation: given a server door, it creates a cache
+/// servant door (D2) whose handler memoizes cacheable operations and
+/// forwards the rest. Bind the object from [`CacheManager::export`] into the
+/// machine-local naming context under the name caching objects carry.
+pub struct CacheManager {
+    ctx: Arc<DomainCtx>,
+    cacheable: HashSet<u32>,
+    stats: Arc<CacheStats>,
+}
+
+impl CacheManager {
+    /// Creates a manager in `ctx`'s domain caching the given operations.
+    pub fn new(ctx: &Arc<DomainCtx>, cacheable_ops: impl IntoIterator<Item = u32>) -> Arc<Self> {
+        Arc::new(CacheManager {
+            ctx: ctx.clone(),
+            cacheable: cacheable_ops.into_iter().collect(),
+            stats: Arc::new(CacheStats::default()),
+        })
+    }
+
+    /// The manager's counters.
+    pub fn stats(&self) -> &Arc<CacheStats> {
+        &self.stats
+    }
+
+    /// Exports the manager as a Spring object (via simplex), ready to bind
+    /// into the machine-local naming context.
+    pub fn export(self: &Arc<Self>) -> Result<SpringObj> {
+        let disp = Arc::new(CacheManagerDispatch { mgr: self.clone() });
+        crate::simplex::Simplex.export(&self.ctx, disp)
+    }
+}
+
+struct CacheManagerDispatch {
+    mgr: Arc<CacheManager>,
+}
+
+impl Dispatch for CacheManagerDispatch {
+    fn type_info(&self) -> &'static TypeInfo {
+        &CACHE_MANAGER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        if op != OP_ATTACH {
+            return Err(SpringError::UnknownOp(op));
+        }
+        let server_door = args.get_door()?;
+        let servant = Arc::new(CacheServant {
+            ctx: self.mgr.ctx.clone(),
+            server_door,
+            cacheable: self.mgr.cacheable.clone(),
+            stats: self.mgr.stats.clone(),
+            memo: Mutex::new(HashMap::new()),
+        });
+        let d2 = self.mgr.ctx.domain().create_door(servant)?;
+        self.mgr.stats.attaches.fetch_add(1, Ordering::Relaxed);
+        encode_ok(reply);
+        reply.put_door(d2);
+        Ok(())
+    }
+}
+
+/// One attached object's cache: a memoizing door in front of the server.
+struct CacheServant {
+    ctx: Arc<DomainCtx>,
+    server_door: DoorId,
+    cacheable: HashSet<u32>,
+    stats: Arc<CacheStats>,
+    /// Request bytes -> reply bytes, for cacheable requests whose replies
+    /// carry no capabilities.
+    memo: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl DoorHandler for CacheServant {
+    fn invoke(
+        &self,
+        _cctx: &CallCtx,
+        msg: Message,
+    ) -> std::result::Result<Message, spring_kernel::DoorError> {
+        // Parse the operation number without consuming the message.
+        let op = {
+            let mut peek = CommBuffer::from_message(Message::from_bytes(msg.bytes.clone()));
+            peek.get_u32()
+                .map_err(|e| spring_kernel::DoorError::Handler(format!("bad request: {e}")))?
+        };
+
+        if self.cacheable.contains(&op) && msg.doors.is_empty() {
+            let key = msg.bytes.clone();
+            if let Some(cached) = self.memo.lock().get(&key) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Message::from_bytes(cached.clone()));
+            }
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let reply = self.ctx.domain().call(self.server_door, msg)?;
+            // Only cache successful, capability-free replies.
+            if reply.doors.is_empty() && reply.bytes.first() == Some(&STATUS_OK) {
+                self.memo.lock().insert(key, reply.bytes.clone());
+            }
+            Ok(reply)
+        } else {
+            // Mutating (or capability-carrying) operation: forward and
+            // invalidate (write-through).
+            self.stats.forwards.fetch_add(1, Ordering::Relaxed);
+            let reply = self.ctx.domain().call(self.server_door, msg)?;
+            let mut memo = self.memo.lock();
+            if !memo.is_empty() {
+                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                memo.clear();
+            }
+            Ok(reply)
+        }
+    }
+
+    fn unreferenced(&self) {
+        // Last client detached: drop the memo and our server identifier.
+        self.memo.lock().clear();
+        let _ = self.ctx.domain().delete_door(self.server_door);
+    }
+}

@@ -1,0 +1,197 @@
+//! The *priority* subcontract: one of the paper's future directions (§8.4).
+//!
+//! "Another is to develop a subcontract that transfers scheduling priority
+//! information between clients and servers for time-critical operations."
+//! The paper's point is that such subcontracts can be written by third
+//! parties without modifying the base system — and indeed this module uses
+//! only the public `subcontract` API: `invoke_preamble` piggybacks the
+//! caller's priority in the control region, and the server-side subcontract
+//! publishes it to the servant for the duration of the call.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use spring_kernel::{CallCtx, DoorHandler, DoorId, Message};
+use subcontract::{
+    get_obj_header, put_obj_header, redispatch_if_foreign, server_dispatch, Dispatch, DomainCtx,
+    ObjParts, Repr, Result, ScId, ServerCtx, ServerSubcontract, SpringObj, Subcontract, TypeInfo,
+};
+
+thread_local! {
+    /// The priority of the call currently executing on this thread, set by
+    /// the server-side priority subcontract. Door calls run on the caller's
+    /// thread, so thread-local scope is exactly call scope.
+    static CURRENT_CALL_PRIORITY: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Reads the priority of the in-flight call (0 outside one) — what a
+/// time-critical servant consults to order its work.
+pub fn current_call_priority() -> u32 {
+    CURRENT_CALL_PRIORITY.with(Cell::get)
+}
+
+/// Client representation: the door plus this object's current priority.
+#[derive(Debug)]
+struct PriorityRepr {
+    door: DoorId,
+    priority: AtomicU32,
+}
+
+/// The priority subcontract (client and server side).
+#[derive(Debug, Default)]
+pub struct Priority;
+
+impl Priority {
+    /// The identifier carried in priority objects' marshalled form.
+    pub const ID: ScId = ScId::from_name("priority");
+
+    /// Creates the subcontract instance to register in a domain.
+    pub fn new() -> Arc<Priority> {
+        Arc::new(Priority)
+    }
+
+    /// Sets the priority future calls on this object will carry.
+    pub fn set_priority(obj: &SpringObj, priority: u32) -> Result<()> {
+        let repr = obj.repr().downcast::<PriorityRepr>("priority")?;
+        repr.priority.store(priority, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The priority currently configured on this object.
+    pub fn priority(obj: &SpringObj) -> Result<u32> {
+        let repr = obj.repr().downcast::<PriorityRepr>("priority")?;
+        Ok(repr.priority.load(Ordering::Relaxed))
+    }
+}
+
+/// Server-side priority code: publishes the piggybacked priority for the
+/// call's duration, then forwards to the skeleton.
+struct PriorityHandler {
+    ctx: Arc<DomainCtx>,
+    disp: Arc<dyn Dispatch>,
+    /// Highest priority observed (a stand-in for a scheduler hook).
+    max_seen: AtomicU32,
+}
+
+impl DoorHandler for PriorityHandler {
+    fn invoke(
+        &self,
+        cctx: &CallCtx,
+        msg: Message,
+    ) -> std::result::Result<Message, spring_kernel::DoorError> {
+        let mut args = CommBuffer::from_message(msg);
+        let priority = args
+            .get_u32()
+            .map_err(|e| spring_kernel::DoorError::Handler(format!("bad priority control: {e}")))?;
+        self.max_seen.fetch_max(priority, Ordering::Relaxed);
+
+        // Publish for the servant; restore afterwards (calls can nest).
+        let previous = CURRENT_CALL_PRIORITY.with(|c| c.replace(priority));
+        let result = (|| {
+            let mut reply = CommBuffer::new();
+            let sctx = ServerCtx {
+                ctx: self.ctx.clone(),
+                caller: cctx.caller,
+            };
+            server_dispatch(&sctx, &*self.disp, &mut args, &mut reply)?;
+            Ok(reply.into_message())
+        })();
+        CURRENT_CALL_PRIORITY.with(|c| c.set(previous));
+        result
+    }
+}
+
+impl Subcontract for Priority {
+    fn id(&self) -> ScId {
+        Self::ID
+    }
+
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn invoke_preamble(&self, obj: &SpringObj, call: &mut CommBuffer) -> Result<()> {
+        // Transfer the scheduling priority in the control region (§8.4).
+        let repr = obj.repr().downcast::<PriorityRepr>(self.name())?;
+        call.put_u32(repr.priority.load(Ordering::Relaxed));
+        Ok(())
+    }
+
+    fn invoke(&self, obj: &SpringObj, call: CommBuffer) -> Result<CommBuffer> {
+        let repr = obj.repr().downcast::<PriorityRepr>(self.name())?;
+        let reply = obj.ctx().domain().call(repr.door, call.into_message())?;
+        Ok(CommBuffer::from_message(reply))
+    }
+
+    fn marshal(&self, _ctx: &Arc<DomainCtx>, parts: ObjParts, buf: &mut CommBuffer) -> Result<()> {
+        let repr = parts.repr.into_downcast::<PriorityRepr>(self.name())?;
+        put_obj_header(buf, Self::ID, &parts.type_name);
+        buf.put_door(repr.door);
+        // The configured priority travels with the object.
+        buf.put_u32(repr.priority.load(Ordering::Relaxed));
+        Ok(())
+    }
+
+    fn unmarshal(
+        &self,
+        ctx: &Arc<DomainCtx>,
+        expected: &'static TypeInfo,
+        buf: &mut CommBuffer,
+    ) -> Result<SpringObj> {
+        if let Some(obj) = redispatch_if_foreign(Self::ID, ctx, expected, buf)? {
+            return Ok(obj);
+        }
+        let (_, wire_name, actual) = get_obj_header(ctx, expected, buf)?;
+        let door = buf.get_door()?;
+        let priority = buf.get_u32()?;
+        Ok(SpringObj::assemble_from_wire(
+            ctx.clone(),
+            wire_name,
+            actual,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(PriorityRepr {
+                door,
+                priority: AtomicU32::new(priority),
+            }),
+        ))
+    }
+
+    fn copy(&self, obj: &SpringObj) -> Result<SpringObj> {
+        let repr = obj.repr().downcast::<PriorityRepr>(self.name())?;
+        let door = obj.ctx().domain().copy_door(repr.door)?;
+        Ok(obj.assemble_like(Repr::new(PriorityRepr {
+            door,
+            priority: AtomicU32::new(repr.priority.load(Ordering::Relaxed)),
+        })))
+    }
+
+    fn consume(&self, ctx: &Arc<DomainCtx>, parts: ObjParts) -> Result<()> {
+        let repr = parts.repr.into_downcast::<PriorityRepr>(self.name())?;
+        ctx.domain().delete_door(repr.door)?;
+        Ok(())
+    }
+}
+
+impl ServerSubcontract for Priority {
+    fn export(&self, ctx: &Arc<DomainCtx>, disp: Arc<dyn Dispatch>) -> Result<SpringObj> {
+        let type_info = disp.type_info();
+        ctx.types().register(type_info);
+        let handler = Arc::new(PriorityHandler {
+            ctx: ctx.clone(),
+            disp,
+            max_seen: AtomicU32::new(0),
+        });
+        let door = ctx.domain().create_door(handler)?;
+        Ok(SpringObj::assemble(
+            ctx.clone(),
+            type_info,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(PriorityRepr {
+                door,
+                priority: AtomicU32::new(0),
+            }),
+        ))
+    }
+}

@@ -1,0 +1,221 @@
+//! The *reconnectable* subcontract: quiet recovery from server crashes (§8.3).
+//!
+//! Some servers keep their state in stable storage; a client holding one of
+//! their objects "would like the object to be able to quietly recover from
+//! server crashes". Door identifiers become invalid when a server crashes,
+//! so the reconnectable representation pairs a door identifier with an
+//! object name: "if [the door invocation] fails, the subcontract instead
+//! attempts to resolve the object name to obtain a new object and retries
+//! the operation on that. It retries periodically until it succeeds in
+//! getting a new valid object."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use spring_buf::CommBuffer;
+use spring_kernel::{DoorId, Message};
+use subcontract::{
+    get_obj_header, put_obj_header, redispatch_if_foreign, Dispatch, DomainCtx, ObjParts, Repr,
+    Result, ScId, SpringError, SpringObj, Subcontract, TypeInfo,
+};
+
+use crate::caching::DirectHandler;
+
+/// How persistently the subcontract tries to reconnect.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum reconnect attempts per invocation before giving up.
+    pub max_attempts: u32,
+    /// Delay between reconnect attempts ("retries periodically").
+    pub interval: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Client representation: the current door plus the object's name.
+#[derive(Debug)]
+struct ReconRepr {
+    door: Mutex<DoorId>,
+    name: String,
+}
+
+/// The reconnectable subcontract (client and server side).
+#[derive(Debug, Default)]
+pub struct Reconnectable {
+    policy: RetryPolicy,
+}
+
+impl Reconnectable {
+    /// The identifier carried in reconnectable objects' marshalled form.
+    pub const ID: ScId = ScId::from_name("reconnectable");
+
+    /// Creates the subcontract instance with the default retry policy.
+    pub fn new() -> Arc<Reconnectable> {
+        Arc::new(Reconnectable::default())
+    }
+
+    /// Creates the subcontract instance with a custom retry policy.
+    pub fn with_policy(policy: RetryPolicy) -> Arc<Reconnectable> {
+        Arc::new(Reconnectable { policy })
+    }
+
+    /// Exports an object under a stable name. The server (or its
+    /// supervisor) is responsible for binding a copy of the returned object
+    /// into the naming context under `name` — and for re-binding a fresh one
+    /// after a restart, which is what clients reconnect to.
+    pub fn export(
+        ctx: &Arc<DomainCtx>,
+        disp: Arc<dyn Dispatch>,
+        name: impl Into<String>,
+    ) -> Result<SpringObj> {
+        let type_info = disp.type_info();
+        ctx.types().register(type_info);
+        let handler = Arc::new(DirectHandler {
+            ctx: ctx.clone(),
+            disp,
+        });
+        let door = ctx.domain().create_door(handler)?;
+        Ok(SpringObj::assemble(
+            ctx.clone(),
+            type_info,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(ReconRepr {
+                door: Mutex::new(door),
+                name: name.into(),
+            }),
+        ))
+    }
+
+    /// Extracts the primary door from a freshly resolved object, accepting
+    /// any of this crate's single-door subcontracts. The donor object is
+    /// disassembled, not consumed, so its door identifier survives.
+    fn adopt_door(resolved: SpringObj) -> Result<DoorId> {
+        let sc_id = resolved.subcontract().id();
+        let (_ctx, _sc, parts) = resolved.into_parts();
+        if sc_id == Self::ID {
+            let repr = parts.repr.into_downcast::<ReconRepr>("reconnectable")?;
+            Ok(repr.door.into_inner())
+        } else if sc_id == crate::singleton::Singleton::ID {
+            Ok(parts
+                .repr
+                .into_downcast::<crate::singleton::SingletonRepr>("singleton")?
+                .door)
+        } else if sc_id == crate::simplex::Simplex::ID {
+            parts
+                .repr
+                .into_downcast::<crate::simplex::SimplexRepr>("simplex")?
+                .remote_door()
+                .ok_or(SpringError::Unsupported("resolved object has no door"))
+        } else {
+            Err(SpringError::Unsupported(
+                "reconnectable can only adopt single-door objects",
+            ))
+        }
+    }
+}
+
+impl Subcontract for Reconnectable {
+    fn id(&self) -> ScId {
+        Self::ID
+    }
+
+    fn name(&self) -> &'static str {
+        "reconnectable"
+    }
+
+    fn invoke(&self, obj: &SpringObj, call: CommBuffer) -> Result<CommBuffer> {
+        let repr = obj.repr().downcast::<ReconRepr>(self.name())?;
+        let domain = obj.ctx().domain();
+        let msg = call.into_message();
+        let (bytes, arg_doors) = (msg.bytes, msg.doors);
+
+        let mut reconnects = 0u32;
+        loop {
+            let door = *repr.door.lock();
+            let attempt = Message {
+                bytes: bytes.clone(),
+                doors: arg_doors.clone(),
+            };
+            match domain.call(door, attempt) {
+                Ok(reply) => return Ok(CommBuffer::from_message(reply)),
+                Err(e) if e.is_comm_failure() => {
+                    reconnects += 1;
+                    if reconnects > self.policy.max_attempts {
+                        return Err(SpringError::Exhausted("reconnect attempts"));
+                    }
+                    std::thread::sleep(self.policy.interval);
+                    // Re-resolve the object name to obtain a new object and
+                    // retry the operation on that (§8.3).
+                    let resolver = obj.ctx().resolver()?;
+                    match resolver.resolve(&repr.name, obj.type_info()) {
+                        Ok(fresh) => {
+                            let new_door = Self::adopt_door(fresh)?;
+                            let old = std::mem::replace(&mut *repr.door.lock(), new_door);
+                            let _ = domain.delete_door(old);
+                        }
+                        // The server is still down; keep retrying.
+                        Err(_) => continue,
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn marshal(&self, _ctx: &Arc<DomainCtx>, parts: ObjParts, buf: &mut CommBuffer) -> Result<()> {
+        let repr = parts.repr.into_downcast::<ReconRepr>(self.name())?;
+        put_obj_header(buf, Self::ID, &parts.type_name);
+        buf.put_door(repr.door.into_inner());
+        buf.put_string(&repr.name);
+        Ok(())
+    }
+
+    fn unmarshal(
+        &self,
+        ctx: &Arc<DomainCtx>,
+        expected: &'static TypeInfo,
+        buf: &mut CommBuffer,
+    ) -> Result<SpringObj> {
+        if let Some(obj) = redispatch_if_foreign(Self::ID, ctx, expected, buf)? {
+            return Ok(obj);
+        }
+        let (_, wire_name, actual) = get_obj_header(ctx, expected, buf)?;
+        let door = buf.get_door()?;
+        let name = buf.get_string()?;
+        Ok(SpringObj::assemble_from_wire(
+            ctx.clone(),
+            wire_name,
+            actual,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(ReconRepr {
+                door: Mutex::new(door),
+                name,
+            }),
+        ))
+    }
+
+    fn copy(&self, obj: &SpringObj) -> Result<SpringObj> {
+        let repr = obj.repr().downcast::<ReconRepr>(self.name())?;
+        let door = obj.ctx().domain().copy_door(*repr.door.lock())?;
+        Ok(obj.assemble_like(Repr::new(ReconRepr {
+            door: Mutex::new(door),
+            name: repr.name.clone(),
+        })))
+    }
+
+    fn consume(&self, ctx: &Arc<DomainCtx>, parts: ObjParts) -> Result<()> {
+        let repr = parts.repr.into_downcast::<ReconRepr>(self.name())?;
+        // The door may already be dead (that is the point of this
+        // subcontract); a failed delete is not an error worth surfacing.
+        let _ = ctx.domain().delete_door(repr.door.into_inner());
+        Ok(())
+    }
+}

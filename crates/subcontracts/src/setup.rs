@@ -1,0 +1,97 @@
+//! Convenience wiring: register the standard subcontract set, or package it
+//! as a loadable library for dynamic-discovery scenarios (§6.2).
+
+use std::sync::Arc;
+
+use subcontract::{DomainCtx, Subcontract};
+
+use crate::caching::Caching;
+use crate::cluster::Cluster;
+use crate::reconnectable::Reconnectable;
+use crate::replicon::Replicon;
+use crate::shmem::Shmem;
+use crate::simplex::Simplex;
+use crate::singleton::Singleton;
+
+/// Names of the subcontracts in the standard library, in registration order.
+pub const STANDARD_SUBCONTRACT_NAMES: [&str; 7] = [
+    "singleton",
+    "simplex",
+    "cluster",
+    "replicon",
+    "caching",
+    "reconnectable",
+    "shmem",
+];
+
+fn standard_set() -> Vec<Arc<dyn Subcontract>> {
+    vec![
+        Singleton::new(),
+        Simplex::new(),
+        Cluster::new(),
+        Replicon::new(),
+        Caching::new(),
+        Reconnectable::new(),
+        Shmem::new(),
+    ]
+}
+
+/// Registers the full standard subcontract set in a domain — the moral
+/// equivalent of linking a program against the standard libraries.
+pub fn register_standard(ctx: &Arc<DomainCtx>) {
+    for sc in standard_set() {
+        ctx.register_subcontract(sc);
+    }
+}
+
+/// The standard set packaged as a library factory, for installing in a
+/// [`subcontract::LibraryStore`] and loading via dynamic discovery.
+pub fn standard_library() -> subcontract::LibraryFactory {
+    Arc::new(standard_set)
+}
+
+/// The "third-party" extension subcontracts (§8.4's future directions —
+/// priority transfer and transaction control) as a loadable library. Not in
+/// the standard set on purpose: programs discover them dynamically.
+pub fn extensions_library() -> subcontract::LibraryFactory {
+    Arc::new(|| {
+        vec![
+            crate::priority::Priority::new() as Arc<dyn Subcontract>,
+            crate::txn::Txn::new(),
+            crate::stream::Stream::new(),
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spring_kernel::Kernel;
+
+    #[test]
+    fn standard_set_matches_its_advertised_names() {
+        let names: Vec<&str> = standard_set().iter().map(|sc| sc.name()).collect();
+        assert_eq!(names, STANDARD_SUBCONTRACT_NAMES);
+    }
+
+    #[test]
+    fn register_standard_fills_the_registry() {
+        let kernel = Kernel::new("t");
+        let ctx = subcontract::DomainCtx::new(kernel.create_domain("d"));
+        register_standard(&ctx);
+        assert_eq!(ctx.registry().len(), STANDARD_SUBCONTRACT_NAMES.len());
+        for name in STANDARD_SUBCONTRACT_NAMES {
+            assert!(
+                ctx.registry().contains(subcontract::ScId::from_name(name)),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn extension_library_provides_all_three() {
+        let provided = extensions_library()();
+        let names: Vec<&str> = provided.iter().map(|sc| sc.name()).collect();
+        assert_eq!(names, ["priority", "txn", "stream"]);
+    }
+}

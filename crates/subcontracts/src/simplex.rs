@@ -1,0 +1,299 @@
+//! The *simplex* subcontract: client-server with a subcontract dialogue.
+//!
+//! §7 of the paper walks a file object through its whole life cycle on
+//! simplex: "a very simple client-server subcontract, using a single kernel
+//! door identifier to communicate with the server". Unlike singleton,
+//! simplex routes incoming calls through server-side subcontract code first
+//! (§5.2.2's common option), so the client and server subcontract halves
+//! exchange a one-byte control region on every call and reply — the hook a
+//! richer dialogue would piggyback on.
+//!
+//! Simplex also implements the §5.2.1 same-address-space fast path: an
+//! object exported with [`Simplex::export_local`] invokes its dispatcher
+//! directly, paying for a kernel door only when (and if) the object is
+//! first marshalled to another domain.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spring_buf::CommBuffer;
+use spring_kernel::{CallCtx, DoorHandler, DoorId, Message};
+use subcontract::{
+    get_obj_header, put_obj_header, redispatch_if_foreign, server_dispatch, Dispatch, DomainCtx,
+    ObjParts, Repr, Result, ScId, ServerCtx, ServerSubcontract, SpringObj, Subcontract, TypeInfo,
+};
+
+/// Control-region flag: an ordinary call.
+const CTRL_NORMAL: u8 = 0;
+
+/// Client representation: a remote door, or the local fast path.
+enum SimplexState {
+    /// The common case: the server is reached through a door.
+    Remote(DoorId),
+    /// Same-address-space fast path: calls go straight to the dispatcher; a
+    /// door is created lazily on first marshal.
+    Local {
+        disp: Arc<dyn Dispatch>,
+        door: Option<DoorId>,
+    },
+}
+
+#[derive(Debug)]
+struct SimplexReprInner {
+    state: SimplexState,
+}
+
+#[derive(Debug)]
+pub(crate) struct SimplexRepr {
+    inner: Mutex<SimplexReprInner>,
+}
+
+impl SimplexRepr {
+    pub(crate) fn remote(door: DoorId) -> Self {
+        SimplexRepr {
+            inner: Mutex::new(SimplexReprInner {
+                state: SimplexState::Remote(door),
+            }),
+        }
+    }
+
+    /// The door identifier, when the object is in the remote state.
+    pub(crate) fn remote_door(&self) -> Option<DoorId> {
+        match &self.inner.lock().state {
+            SimplexState::Remote(d) => Some(*d),
+            SimplexState::Local { door, .. } => *door,
+        }
+    }
+}
+
+impl std::fmt::Debug for SimplexState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplexState::Remote(d) => write!(f, "Remote({d:?})"),
+            SimplexState::Local { door, .. } => write!(f, "Local(door: {door:?})"),
+        }
+    }
+}
+
+/// The simplex subcontract (client and server side).
+#[derive(Debug, Default)]
+pub struct Simplex;
+
+impl Simplex {
+    /// The identifier carried in simplex objects' marshalled form.
+    pub const ID: ScId = ScId::from_name("simplex");
+
+    /// Creates the subcontract instance to register in a domain.
+    pub fn new() -> Arc<Simplex> {
+        Arc::new(Simplex)
+    }
+
+    /// Exports an object on the same-address-space fast path (§5.2.1): no
+    /// kernel door is created until the object is first marshalled for
+    /// transmission to another domain.
+    pub fn export_local(ctx: &Arc<DomainCtx>, disp: Arc<dyn Dispatch>) -> Result<SpringObj> {
+        let type_info = disp.type_info();
+        ctx.types().register(type_info);
+        Ok(SpringObj::assemble(
+            ctx.clone(),
+            type_info,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(SimplexRepr {
+                inner: Mutex::new(SimplexReprInner {
+                    state: SimplexState::Local { disp, door: None },
+                }),
+            }),
+        ))
+    }
+
+    fn create_server_door(ctx: &Arc<DomainCtx>, disp: Arc<dyn Dispatch>) -> Result<DoorId> {
+        let handler = Arc::new(SimplexHandler {
+            ctx: ctx.clone(),
+            disp,
+        });
+        Ok(ctx.domain().create_door(handler)?)
+    }
+}
+
+/// Server-side simplex code: strips the control region, forwards the call to
+/// the skeleton, and adds the reply control region.
+struct SimplexHandler {
+    ctx: Arc<DomainCtx>,
+    disp: Arc<dyn Dispatch>,
+}
+
+impl DoorHandler for SimplexHandler {
+    fn unreferenced(&self) {
+        self.disp.unreferenced();
+    }
+
+    fn invoke(
+        &self,
+        cctx: &CallCtx,
+        msg: Message,
+    ) -> std::result::Result<Message, spring_kernel::DoorError> {
+        let mut args = CommBuffer::from_message(msg);
+        let _flags = args
+            .get_u8()
+            .map_err(|e| spring_kernel::DoorError::Handler(format!("bad control region: {e}")))?;
+        let mut reply = CommBuffer::new();
+        reply.put_u8(CTRL_NORMAL);
+        let sctx = ServerCtx {
+            ctx: self.ctx.clone(),
+            caller: cctx.caller,
+        };
+        server_dispatch(&sctx, &*self.disp, &mut args, &mut reply)?;
+        Ok(reply.into_message())
+    }
+}
+
+impl Subcontract for Simplex {
+    fn id(&self) -> ScId {
+        Self::ID
+    }
+
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+
+    fn invoke_preamble(&self, _obj: &SpringObj, call: &mut CommBuffer) -> Result<()> {
+        call.put_u8(CTRL_NORMAL);
+        Ok(())
+    }
+
+    fn invoke(&self, obj: &SpringObj, call: CommBuffer) -> Result<CommBuffer> {
+        let repr = obj.repr().downcast::<SimplexRepr>(self.name())?;
+        // Decide the path under the lock, but run remote calls outside it.
+        enum Path {
+            Remote(DoorId),
+            Local(Arc<dyn Dispatch>),
+        }
+        let path = {
+            let inner = repr.inner.lock();
+            match &inner.state {
+                SimplexState::Remote(d) => Path::Remote(*d),
+                SimplexState::Local { disp, .. } => Path::Local(disp.clone()),
+            }
+        };
+        match path {
+            Path::Remote(door) => {
+                let reply = obj.ctx().domain().call(door, call.into_message())?;
+                let mut reply = CommBuffer::from_message(reply);
+                let _flags = reply.get_u8()?;
+                Ok(reply)
+            }
+            Path::Local(disp) => {
+                // The same-address-space optimized invocation: no kernel.
+                // The buffer was built by our own invoke_preamble, so the
+                // read cursor sits at the control byte.
+                let mut args = call;
+                let _flags = args.get_u8()?;
+                let mut reply = CommBuffer::new();
+                reply.put_u8(CTRL_NORMAL);
+                let sctx = ServerCtx {
+                    ctx: obj.ctx().clone(),
+                    caller: obj.ctx().domain().id(),
+                };
+                server_dispatch(&sctx, &*disp, &mut args, &mut reply)?;
+                let _flags = reply.get_u8()?;
+                Ok(reply)
+            }
+        }
+    }
+
+    fn marshal(&self, ctx: &Arc<DomainCtx>, parts: ObjParts, buf: &mut CommBuffer) -> Result<()> {
+        let repr = parts.repr.into_downcast::<SimplexRepr>(self.name())?;
+        let inner = repr.inner.into_inner();
+        let door = match inner.state {
+            SimplexState::Remote(d) => d,
+            // First transmission of a local object: create the
+            // cross-domain resources now (§5.2.1: "When and if the object is
+            // actually marshalled ... the subcontract will finally create
+            // these resources").
+            SimplexState::Local { disp, door } => match door {
+                Some(d) => d,
+                None => Self::create_server_door(ctx, disp)?,
+            },
+        };
+        put_obj_header(buf, Self::ID, &parts.type_name);
+        buf.put_door(door);
+        Ok(())
+    }
+
+    fn unmarshal(
+        &self,
+        ctx: &Arc<DomainCtx>,
+        expected: &'static TypeInfo,
+        buf: &mut CommBuffer,
+    ) -> Result<SpringObj> {
+        if let Some(obj) = redispatch_if_foreign(Self::ID, ctx, expected, buf)? {
+            return Ok(obj);
+        }
+        let (_, wire_name, actual) = get_obj_header(ctx, expected, buf)?;
+        let door = buf.get_door()?;
+        Ok(SpringObj::assemble_from_wire(
+            ctx.clone(),
+            wire_name,
+            actual,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(SimplexRepr::remote(door)),
+        ))
+    }
+
+    fn copy(&self, obj: &SpringObj) -> Result<SpringObj> {
+        let repr = obj.repr().downcast::<SimplexRepr>(self.name())?;
+        let new_state = {
+            let inner = repr.inner.lock();
+            match &inner.state {
+                SimplexState::Remote(d) => SimplexState::Remote(obj.ctx().domain().copy_door(*d)?),
+                // A copy of a local object shares the dispatcher (shallow
+                // copy: same underlying state); it grows its own door if it
+                // is ever marshalled.
+                SimplexState::Local { disp, .. } => SimplexState::Local {
+                    disp: disp.clone(),
+                    door: None,
+                },
+            }
+        };
+        Ok(obj.assemble_like(Repr::new(SimplexRepr {
+            inner: Mutex::new(SimplexReprInner { state: new_state }),
+        })))
+    }
+
+    fn consume(&self, ctx: &Arc<DomainCtx>, parts: ObjParts) -> Result<()> {
+        let repr = parts.repr.into_downcast::<SimplexRepr>(self.name())?;
+        match repr.inner.into_inner().state {
+            SimplexState::Remote(d) => ctx.domain().delete_door(d)?,
+            SimplexState::Local { door: Some(d), .. } => ctx.domain().delete_door(d)?,
+            SimplexState::Local { door: None, .. } => {}
+        }
+        Ok(())
+    }
+}
+
+impl ServerSubcontract for Simplex {
+    fn export(&self, ctx: &Arc<DomainCtx>, disp: Arc<dyn Dispatch>) -> Result<SpringObj> {
+        let type_info = disp.type_info();
+        ctx.types().register(type_info);
+        let door = Self::create_server_door(ctx, disp)?;
+        Ok(SpringObj::assemble(
+            ctx.clone(),
+            type_info,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(SimplexRepr::remote(door)),
+        ))
+    }
+
+    fn revoke(&self, obj: &SpringObj) -> Result<()> {
+        let repr = obj.repr().downcast::<SimplexRepr>(self.name())?;
+        match repr.remote_door() {
+            Some(d) => {
+                obj.ctx().domain().revoke_door(d)?;
+                Ok(())
+            }
+            None => Err(subcontract::SpringError::Unsupported(
+                "cannot revoke a local object that has no door yet",
+            )),
+        }
+    }
+}

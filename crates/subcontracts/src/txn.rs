@@ -1,0 +1,223 @@
+//! The *txn* subcontract: another §8.4 future direction, implemented.
+//!
+//! "Another is to transfer control information for atomic transactions at
+//! the subcontract level." A client thread opens a transaction scope; every
+//! invocation on a txn object made inside the scope piggybacks the
+//! transaction identifier, which the server-side subcontract publishes to
+//! the servant and records in a journal — the raw material a transaction
+//! coordinator needs, flowing entirely through subcontract control regions.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spring_buf::CommBuffer;
+use spring_kernel::{CallCtx, DoorHandler, DoorId, Message};
+use subcontract::{
+    get_obj_header, put_obj_header, redispatch_if_foreign, server_dispatch, Dispatch, DomainCtx,
+    ObjParts, Repr, Result, ScId, ServerCtx, SpringObj, Subcontract, TypeInfo,
+};
+
+thread_local! {
+    /// The transaction the current thread is working under (0 = none).
+    static CLIENT_TXN: Cell<u64> = const { Cell::new(0) };
+    /// The transaction of the call currently being served on this thread.
+    static SERVER_TXN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Opens a transaction scope on the current thread; invocations on txn
+/// objects inside the scope carry the identifier. Closing restores the
+/// previous scope (scopes nest).
+pub struct TxnScope {
+    previous: u64,
+}
+
+impl TxnScope {
+    /// Enters transaction `id` on this thread.
+    pub fn begin(id: u64) -> TxnScope {
+        TxnScope {
+            previous: CLIENT_TXN.with(|c| c.replace(id)),
+        }
+    }
+}
+
+impl Drop for TxnScope {
+    fn drop(&mut self) {
+        CLIENT_TXN.with(|c| c.set(self.previous));
+    }
+}
+
+/// The transaction identifier of the call currently being served (what a
+/// transactional servant consults), or 0 outside a transaction.
+pub fn current_txn() -> u64 {
+    SERVER_TXN.with(Cell::get)
+}
+
+/// A record of operations observed under transactions, per exported object.
+#[derive(Debug, Default)]
+pub struct TxnJournal {
+    entries: Mutex<Vec<(u64, u32)>>,
+}
+
+impl TxnJournal {
+    /// All `(transaction, operation)` pairs recorded so far.
+    pub fn entries(&self) -> Vec<(u64, u32)> {
+        self.entries.lock().clone()
+    }
+
+    /// Operations recorded under one transaction.
+    pub fn ops_in(&self, txn: u64) -> Vec<u32> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|(t, _)| *t == txn)
+            .map(|(_, op)| *op)
+            .collect()
+    }
+}
+
+/// Client representation: just the door; the transaction comes from the
+/// calling thread's scope.
+#[derive(Debug)]
+struct TxnRepr {
+    door: DoorId,
+}
+
+/// The txn subcontract (client and server side).
+#[derive(Debug, Default)]
+pub struct Txn;
+
+impl Txn {
+    /// The identifier carried in txn objects' marshalled form.
+    pub const ID: ScId = ScId::from_name("txn");
+
+    /// Creates the subcontract instance to register in a domain.
+    pub fn new() -> Arc<Txn> {
+        Arc::new(Txn)
+    }
+
+    /// Exports an object whose calls carry transaction identifiers,
+    /// returning the object together with its server-side journal.
+    pub fn export_with_journal(
+        ctx: &Arc<DomainCtx>,
+        disp: Arc<dyn Dispatch>,
+    ) -> Result<(SpringObj, Arc<TxnJournal>)> {
+        let type_info = disp.type_info();
+        ctx.types().register(type_info);
+        let journal = Arc::new(TxnJournal::default());
+        let handler = Arc::new(TxnHandler {
+            ctx: ctx.clone(),
+            disp,
+            journal: journal.clone(),
+        });
+        let door = ctx.domain().create_door(handler)?;
+        let obj = SpringObj::assemble(
+            ctx.clone(),
+            type_info,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(TxnRepr { door }),
+        );
+        Ok((obj, journal))
+    }
+}
+
+/// Server-side txn code: reads the control region, journals the call, and
+/// publishes the transaction for the servant.
+struct TxnHandler {
+    ctx: Arc<DomainCtx>,
+    disp: Arc<dyn Dispatch>,
+    journal: Arc<TxnJournal>,
+}
+
+impl DoorHandler for TxnHandler {
+    fn invoke(
+        &self,
+        cctx: &CallCtx,
+        msg: Message,
+    ) -> std::result::Result<Message, spring_kernel::DoorError> {
+        let mut args = CommBuffer::from_message(msg);
+        let txn = args
+            .get_u64()
+            .map_err(|e| spring_kernel::DoorError::Handler(format!("bad txn control: {e}")))?;
+        let op = args
+            .peek_u32()
+            .map_err(|e| spring_kernel::DoorError::Handler(format!("bad txn request: {e}")))?;
+        if txn != 0 {
+            self.journal.entries.lock().push((txn, op));
+        }
+
+        let previous = SERVER_TXN.with(|c| c.replace(txn));
+        let result = (|| {
+            let mut reply = CommBuffer::new();
+            let sctx = ServerCtx {
+                ctx: self.ctx.clone(),
+                caller: cctx.caller,
+            };
+            server_dispatch(&sctx, &*self.disp, &mut args, &mut reply)?;
+            Ok(reply.into_message())
+        })();
+        SERVER_TXN.with(|c| c.set(previous));
+        result
+    }
+}
+
+impl Subcontract for Txn {
+    fn id(&self) -> ScId {
+        Self::ID
+    }
+
+    fn name(&self) -> &'static str {
+        "txn"
+    }
+
+    fn invoke_preamble(&self, _obj: &SpringObj, call: &mut CommBuffer) -> Result<()> {
+        // Transfer the thread's transaction in the control region (§8.4).
+        call.put_u64(CLIENT_TXN.with(Cell::get));
+        Ok(())
+    }
+
+    fn invoke(&self, obj: &SpringObj, call: CommBuffer) -> Result<CommBuffer> {
+        let repr = obj.repr().downcast::<TxnRepr>(self.name())?;
+        let reply = obj.ctx().domain().call(repr.door, call.into_message())?;
+        Ok(CommBuffer::from_message(reply))
+    }
+
+    fn marshal(&self, _ctx: &Arc<DomainCtx>, parts: ObjParts, buf: &mut CommBuffer) -> Result<()> {
+        let repr = parts.repr.into_downcast::<TxnRepr>(self.name())?;
+        put_obj_header(buf, Self::ID, &parts.type_name);
+        buf.put_door(repr.door);
+        Ok(())
+    }
+
+    fn unmarshal(
+        &self,
+        ctx: &Arc<DomainCtx>,
+        expected: &'static TypeInfo,
+        buf: &mut CommBuffer,
+    ) -> Result<SpringObj> {
+        if let Some(obj) = redispatch_if_foreign(Self::ID, ctx, expected, buf)? {
+            return Ok(obj);
+        }
+        let (_, wire_name, actual) = get_obj_header(ctx, expected, buf)?;
+        let door = buf.get_door()?;
+        Ok(SpringObj::assemble_from_wire(
+            ctx.clone(),
+            wire_name,
+            actual,
+            ctx.lookup_subcontract(Self::ID)?,
+            Repr::new(TxnRepr { door }),
+        ))
+    }
+
+    fn copy(&self, obj: &SpringObj) -> Result<SpringObj> {
+        let repr = obj.repr().downcast::<TxnRepr>(self.name())?;
+        let door = obj.ctx().domain().copy_door(repr.door)?;
+        Ok(obj.assemble_like(Repr::new(TxnRepr { door })))
+    }
+
+    fn consume(&self, ctx: &Arc<DomainCtx>, parts: ObjParts) -> Result<()> {
+        let repr = parts.repr.into_downcast::<TxnRepr>(self.name())?;
+        ctx.domain().delete_door(repr.door)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,100 @@
+//! Cluster subcontract (§8.1): one door shared by many objects, tag
+//! dispatch, per-object revocation.
+
+mod common;
+
+use common::{ctx_on, ship, CounterClient, CounterServant, COUNTER_TYPE};
+use spring_kernel::{DoorError, Kernel};
+use spring_subcontracts::ClusterServer;
+use subcontract::SpringError;
+
+#[test]
+fn many_objects_one_door() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    let before = kernel.stats();
+    let cluster = ClusterServer::new(&server).unwrap();
+
+    let mut clients = Vec::new();
+    for i in 0..100 {
+        let obj = cluster.export(CounterServant::new(i)).unwrap();
+        clients.push(CounterClient(ship(obj, &client, &COUNTER_TYPE).unwrap()));
+    }
+    // The whole cluster cost exactly one kernel door (§8.1).
+    let delta = kernel.stats().since(&before);
+    assert_eq!(delta.doors_created, 1);
+    assert_eq!(cluster.live_objects(), 100);
+
+    // The tag dispatches to the right object.
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.get().unwrap(), i as i64);
+    }
+    clients[7].add(100).unwrap();
+    assert_eq!(clients[7].get().unwrap(), 107);
+    assert_eq!(clients[8].get().unwrap(), 8);
+}
+
+#[test]
+fn tag_revocation_is_per_object() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    let cluster = ClusterServer::new(&server).unwrap();
+    let a_srv = cluster.export(CounterServant::new(1)).unwrap();
+    let b_srv = cluster.export(CounterServant::new(2)).unwrap();
+
+    let a_remote = common::ship_copy(&a_srv, &client, &COUNTER_TYPE).unwrap();
+    let b_remote = common::ship_copy(&b_srv, &client, &COUNTER_TYPE).unwrap();
+
+    cluster.revoke_tag(&a_srv).unwrap();
+    assert_eq!(cluster.live_objects(), 1);
+
+    let a = CounterClient(a_remote);
+    let b = CounterClient(b_remote);
+    match a.get().unwrap_err() {
+        SpringError::Door(DoorError::Revoked) => {}
+        other => panic!("expected revoked, got {other:?}"),
+    }
+    // The sibling object sharing the door still works.
+    assert_eq!(b.get().unwrap(), 2);
+
+    // Revoking twice is an error.
+    assert!(cluster.revoke_tag(&a_srv).is_err());
+}
+
+#[test]
+fn cluster_objects_roundtrip_between_domains() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let a = ctx_on(&kernel, "a");
+    let b = ctx_on(&kernel, "b");
+
+    let cluster = ClusterServer::new(&server).unwrap();
+    let obj = cluster.export(CounterServant::new(5)).unwrap();
+
+    // Bounce the object through two domains; tag and door survive.
+    let obj = ship(obj, &a, &COUNTER_TYPE).unwrap();
+    let obj = ship(obj, &b, &COUNTER_TYPE).unwrap();
+    let c = CounterClient(obj);
+    assert_eq!(c.add(5).unwrap(), 10);
+}
+
+#[test]
+fn copy_shares_tag_and_state() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let cluster = ClusterServer::new(&server).unwrap();
+    let obj = cluster.export(CounterServant::new(0)).unwrap();
+
+    let copy = CounterClient(obj.copy().unwrap());
+    let orig = CounterClient(obj);
+    orig.add(3).unwrap();
+    assert_eq!(copy.get().unwrap(), 3);
+
+    // Consuming one identifier leaves the other live.
+    orig.0.consume().unwrap();
+    assert_eq!(copy.get().unwrap(), 3);
+}

@@ -1,0 +1,193 @@
+//! Compatible subcontracts (§6.1) and dynamic discovery (§6.2): receiving an
+//! object of an unexpected subcontract, registry re-dispatch, simulated
+//! dynamic linking, and the trusted-search-path security rule.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{ctx_on, ship, CounterClient, CounterServant, COUNTER_TYPE};
+use spring_kernel::Kernel;
+use spring_subcontracts::{
+    register_standard, standard_library, Replicon, RepliconServer, Simplex, Singleton,
+};
+use subcontract::{DomainCtx, LibraryStore, MapLibraryNames, ServerSubcontract, SpringError};
+
+#[test]
+fn simplex_object_received_where_singleton_expected() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    // COUNTER_TYPE's default subcontract is singleton; the sender used
+    // simplex. The singleton unmarshal peeks the identifier and re-dispatches.
+    let obj = Simplex.export(&server, CounterServant::new(1)).unwrap();
+    let obj = ship(obj, &client, &COUNTER_TYPE).unwrap();
+    assert_eq!(obj.subcontract().id(), Simplex::ID);
+    assert_eq!(CounterClient(obj).get().unwrap(), 1);
+}
+
+#[test]
+fn replicon_object_received_where_singleton_expected() {
+    let kernel = Kernel::new("t");
+    let server_ctx = ctx_on(&kernel, "replica");
+    let client = ctx_on(&kernel, "client");
+
+    let group = spring_subcontracts::ReplicaGroup::new();
+    group
+        .add(RepliconServer::new(&server_ctx, CounterServant::new(7)).unwrap())
+        .unwrap();
+    let obj = group.object_for(&server_ctx).unwrap();
+    let obj = ship(obj, &client, &COUNTER_TYPE).unwrap();
+    assert_eq!(obj.subcontract().id(), Replicon::ID);
+    assert_eq!(CounterClient(obj).get().unwrap(), 7);
+}
+
+/// Builds a client domain that only knows singleton — it was "not initially
+/// linked with any libraries that understood replicated objects" (§6.2).
+fn minimal_client(kernel: &Kernel) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain("old-client"));
+    ctx.register_subcontract(Singleton::new());
+    ctx.types().register(&COUNTER_TYPE);
+    ctx
+}
+
+#[test]
+fn unknown_subcontract_without_discovery_fails() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = minimal_client(&kernel);
+
+    let obj = Simplex.export(&server, CounterServant::new(0)).unwrap();
+    match ship(obj, &client, &COUNTER_TYPE) {
+        Err(SpringError::UnknownSubcontract(id)) => assert_eq!(id, Simplex::ID),
+        other => panic!("expected unknown subcontract, got {other:?}"),
+    }
+}
+
+#[test]
+fn dynamic_discovery_loads_the_library() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = minimal_client(&kernel);
+
+    // The machine has the standard library installed in a trusted directory,
+    // and the naming context maps subcontract ids to library names.
+    let store = LibraryStore::new();
+    store.install("standard.so", "/usr/lib/subcontracts", standard_library());
+    let names = MapLibraryNames::new();
+    names.bind(Simplex::ID, "standard.so");
+    client.configure_loader(store, vec!["/usr/lib/subcontracts".into()]);
+    client.set_library_names(names);
+
+    let obj = Simplex.export(&server, CounterServant::new(3)).unwrap();
+    let obj = ship(obj, &client, &COUNTER_TYPE).unwrap();
+    assert_eq!(obj.subcontract().id(), Simplex::ID);
+    assert_eq!(CounterClient(obj).get().unwrap(), 3);
+    // The library's whole contents were registered.
+    assert!(client.registry().contains(Replicon::ID));
+}
+
+#[test]
+fn untrusted_library_location_is_refused() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = minimal_client(&kernel);
+
+    // A malicious client nominated a library outside the trusted path.
+    let store = LibraryStore::new();
+    store.install("evil.so", "/tmp/downloads", standard_library());
+    let names = MapLibraryNames::new();
+    names.bind(Simplex::ID, "evil.so");
+    client.configure_loader(store, vec!["/usr/lib/subcontracts".into()]);
+    client.set_library_names(names);
+
+    let obj = Simplex.export(&server, CounterServant::new(0)).unwrap();
+    match ship(obj, &client, &COUNTER_TYPE) {
+        Err(SpringError::UntrustedLibrary { library, location }) => {
+            assert_eq!(library, "evil.so");
+            assert_eq!(location, "/tmp/downloads");
+        }
+        other => panic!("expected untrusted library, got {other:?}"),
+    }
+    // Nothing was registered.
+    assert!(!client.registry().contains(Simplex::ID));
+}
+
+#[test]
+fn missing_library_mapping_is_reported() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = minimal_client(&kernel);
+    let store = LibraryStore::new();
+    client.configure_loader(store, vec!["/usr/lib/subcontracts".into()]);
+    client.set_library_names(MapLibraryNames::new());
+
+    let obj = Simplex.export(&server, CounterServant::new(0)).unwrap();
+    match ship(obj, &client, &COUNTER_TYPE) {
+        Err(SpringError::UnknownLibrary(id)) => assert_eq!(id, Simplex::ID),
+        other => panic!("expected unknown library, got {other:?}"),
+    }
+}
+
+#[test]
+fn discovery_happens_once_then_registry_hits() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = minimal_client(&kernel);
+
+    let store = LibraryStore::new();
+    store.install("standard.so", "/lib", standard_library());
+    let names = MapLibraryNames::new();
+    names.bind(Simplex::ID, "standard.so");
+    client.configure_loader(store.clone(), vec!["/lib".into()]);
+    client.set_library_names(names);
+
+    let obj = Simplex.export(&server, CounterServant::new(1)).unwrap();
+    let first = ship(obj, &client, &COUNTER_TYPE).unwrap();
+
+    // Uninstall the library: later unmarshals still work from the registry.
+    store.uninstall("standard.so");
+    let obj2 = Simplex.export(&server, CounterServant::new(2)).unwrap();
+    let second = ship(obj2, &client, &COUNTER_TYPE).unwrap();
+    assert_eq!(CounterClient(first).get().unwrap(), 1);
+    assert_eq!(CounterClient(second).get().unwrap(), 2);
+}
+
+#[test]
+fn type_mismatch_on_unmarshal_is_rejected() {
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    // The client knows cache_manager; a counter is not one.
+    let obj = Singleton.export(&server, CounterServant::new(0)).unwrap();
+    match ship(
+        obj,
+        &client,
+        &spring_subcontracts::caching::CACHE_MANAGER_TYPE,
+    ) {
+        Err(SpringError::TypeMismatch { expected, actual }) => {
+            assert_eq!(expected, "cache_manager");
+            assert_eq!(actual, "counter");
+        }
+        other => panic!("expected type mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_actual_type_degrades_to_expected() {
+    // A receiver that has never heard of the actual type handles the object
+    // at its declared type.
+    let kernel = Kernel::new("t");
+    let server = ctx_on(&kernel, "server");
+    let client = DomainCtx::new(kernel.create_domain("ignorant"));
+    register_standard(&client);
+    // Note: COUNTER_TYPE is deliberately *not* registered in the client.
+
+    let obj = Singleton.export(&server, CounterServant::new(5)).unwrap();
+    let obj = ship(obj, &client, &subcontract::OBJECT_TYPE).unwrap();
+    assert_eq!(obj.type_info().name, "object");
+    // The object is still invocable at the wire level.
+    assert_eq!(CounterClient(obj).get().unwrap(), 5);
+}

@@ -1,0 +1,208 @@
+//! Uniform-model conformance matrix (paper §8.5): every subcontract, the
+//! same battery. "The basic subcontract interfaces are sufficiently general
+//! that they can accommodate a wide range of possible solutions, while still
+//! providing a uniform application model."
+
+mod common;
+
+use std::any::Any;
+use std::sync::Arc;
+
+use common::{ctx_on, ship, CounterClient, CounterServant, TestNames, COUNTER_TYPE, OP_GET};
+use spring_kernel::Kernel;
+use spring_subcontracts::priority::Priority;
+use spring_subcontracts::stream::Stream;
+use spring_subcontracts::txn::Txn;
+use spring_subcontracts::{
+    CacheManager, Caching, ClusterServer, Reconnectable, ReplicaGroup, RepliconServer, Shmem,
+    Simplex, Singleton,
+};
+use subcontract::{DomainCtx, ServerSubcontract, SpringError, SpringObj};
+
+/// One subcontract's entry: its name, an exported counter object starting at
+/// 10, and whatever must stay alive for it to keep working.
+struct Subject {
+    name: &'static str,
+    obj: SpringObj,
+    #[allow(dead_code)]
+    keep_alive: Vec<Box<dyn Any>>,
+}
+
+/// Builds one subject per subcontract, plus the client context objects are
+/// shipped into for the battery.
+fn subjects(kernel: &Kernel) -> (Vec<Subject>, Arc<DomainCtx>) {
+    let server = ctx_on(kernel, "server");
+    let client = ctx_on(kernel, "client");
+    for ctx in [&server, &client] {
+        ctx.register_subcontract(Priority::new());
+        ctx.register_subcontract(Txn::new());
+        ctx.register_subcontract(Stream::new());
+    }
+
+    // The caching subject needs a machine-local cache manager.
+    let names = TestNames::new();
+    let mgr_ctx = ctx_on(kernel, "manager");
+    let manager = CacheManager::new(&mgr_ctx, [OP_GET]);
+    names.bind("cache_manager", manager.export().unwrap());
+    client.set_resolver(names.resolver_for(&client));
+    server.set_resolver(names.resolver_for(&server));
+
+    let mut subjects = Vec::new();
+    let mut add = |name, obj: SpringObj, keep: Vec<Box<dyn Any>>| {
+        subjects.push(Subject {
+            name,
+            obj,
+            keep_alive: keep,
+        })
+    };
+
+    add(
+        "singleton",
+        Singleton.export(&server, CounterServant::new(10)).unwrap(),
+        vec![],
+    );
+    add(
+        "simplex",
+        Simplex.export(&server, CounterServant::new(10)).unwrap(),
+        vec![],
+    );
+    add(
+        "simplex-local",
+        Simplex::export_local(&server, CounterServant::new(10)).unwrap(),
+        vec![],
+    );
+    {
+        let cluster = ClusterServer::new(&server).unwrap();
+        add(
+            "cluster",
+            cluster.export(CounterServant::new(10)).unwrap(),
+            vec![Box::new(cluster)],
+        );
+    }
+    {
+        let group = ReplicaGroup::new();
+        let servant = CounterServant::new(10);
+        for i in 0..2 {
+            let ctx = ctx_on(kernel, &format!("replica-{i}"));
+            group
+                .add(RepliconServer::new(&ctx, servant.clone()).unwrap())
+                .unwrap();
+        }
+        let obj = group.object_for(&server).unwrap();
+        add("replicon", obj, vec![Box::new(group)]);
+    }
+    add(
+        "caching",
+        Caching::export(&server, CounterServant::new(10), "cache_manager").unwrap(),
+        vec![Box::new(manager)],
+    );
+    add(
+        "reconnectable",
+        Reconnectable::export(&server, CounterServant::new(10), "svc/x").unwrap(),
+        vec![],
+    );
+    add(
+        "shmem",
+        Shmem::export(&server, CounterServant::new(10), 4096).unwrap(),
+        vec![],
+    );
+    add(
+        "priority",
+        Priority.export(&server, CounterServant::new(10)).unwrap(),
+        vec![],
+    );
+    {
+        let (obj, stats) = Txn::export_with_journal(&server, CounterServant::new(10)).unwrap();
+        add("txn", obj, vec![Box::new(stats)]);
+    }
+    {
+        let (obj, stats) = Stream::export(
+            &server,
+            CounterServant::new(10),
+            Arc::new(|_: u64, _: &[u8]| {}),
+        )
+        .unwrap();
+        add("stream", obj, vec![Box::new(stats)]);
+    }
+
+    (subjects, client)
+}
+
+#[test]
+fn every_subcontract_invokes_uniformly() {
+    let kernel = Kernel::new("matrix");
+    let (subjects, _client) = subjects(&kernel);
+    for s in subjects {
+        let c = CounterClient(s.obj);
+        assert_eq!(c.get().unwrap(), 10, "{}: get", s.name);
+        assert_eq!(c.add(1).unwrap(), 11, "{}: add", s.name);
+        assert_eq!(c.echo(b"abc").unwrap(), b"abc", "{}: echo", s.name);
+    }
+}
+
+#[test]
+fn every_subcontract_copies_sharing_state() {
+    let kernel = Kernel::new("matrix");
+    let (subjects, _client) = subjects(&kernel);
+    for s in subjects {
+        let copy = CounterClient(s.obj.copy().unwrap_or_else(|e| {
+            panic!("{}: copy failed: {e}", s.name);
+        }));
+        let orig = CounterClient(s.obj);
+        orig.add(5).unwrap();
+        assert_eq!(copy.get().unwrap(), 15, "{}: copy shares state", s.name);
+        copy.0.consume().unwrap();
+        assert_eq!(orig.get().unwrap(), 15, "{}: original survives", s.name);
+    }
+}
+
+#[test]
+fn every_subcontract_marshals_roundtrip() {
+    let kernel = Kernel::new("matrix");
+    let (subjects, client) = subjects(&kernel);
+    for s in subjects {
+        let moved = ship(s.obj, &client, &COUNTER_TYPE)
+            .unwrap_or_else(|e| panic!("{}: ship failed: {e}", s.name));
+        assert_eq!(
+            moved.subcontract().name(),
+            if s.name.starts_with("simplex") {
+                "simplex"
+            } else {
+                s.name
+            },
+            "{}: subcontract survives marshalling",
+            s.name
+        );
+        assert_eq!(
+            CounterClient(moved).get().unwrap(),
+            10,
+            "{}: works after move",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn every_subcontract_consumes_cleanly() {
+    let kernel = Kernel::new("matrix");
+    let (subjects, _client) = subjects(&kernel);
+    for s in subjects {
+        s.obj
+            .consume()
+            .unwrap_or_else(|e| panic!("{}: consume failed: {e}", s.name));
+    }
+}
+
+#[test]
+fn every_subcontract_reports_unknown_ops() {
+    let kernel = Kernel::new("matrix");
+    let (subjects, _client) = subjects(&kernel);
+    for s in subjects {
+        let call = s.obj.start_call(0xDEAD_FACE).unwrap();
+        let mut reply = s.obj.invoke(call).unwrap();
+        match subcontract::decode_reply_status(&mut reply) {
+            Err(SpringError::UnknownOp(op)) => assert_eq!(op, 0xDEAD_FACE, "{}", s.name),
+            other => panic!("{}: expected unknown op, got {other:?}", s.name),
+        }
+    }
+}

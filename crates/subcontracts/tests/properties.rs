@@ -1,0 +1,133 @@
+//! Property-based tests over the subcontracts: the replicon availability
+//! invariant and marshalling round-trips under random domain hops.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{ctx_on, ship, CounterClient, CounterServant, COUNTER_TYPE};
+use proptest::prelude::*;
+use spring_kernel::Kernel;
+use spring_subcontracts::{
+    ClusterServer, ReplicaGroup, Replicon, RepliconServer, Simplex, Singleton,
+};
+use subcontract::{DomainCtx, ServerSubcontract, SpringObj};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replicon invariant: as long as at least one replica is alive, every
+    /// invocation succeeds, regardless of which subset (in which order)
+    /// crashed.
+    #[test]
+    fn replicon_survives_any_proper_subset_of_crashes(
+        r in 1usize..6,
+        crash_seq in proptest::collection::vec(any::<usize>(), 0..5),
+    ) {
+        let kernel = Kernel::new("prop");
+        let group = ReplicaGroup::new();
+        let mut ctxs = Vec::new();
+        // One servant shared by all replicas stands in for server-side
+        // state synchronization (§5).
+        let servant = CounterServant::new(0);
+        for i in 0..r {
+            let ctx = ctx_on(&kernel, &format!("replica-{i}"));
+            group.add(RepliconServer::new(&ctx, servant.clone()).unwrap()).unwrap();
+            ctxs.push(ctx);
+        }
+        let client = ctx_on(&kernel, "client");
+        let obj = group.object_for(&client).unwrap();
+        let c = CounterClient(obj);
+
+        let mut alive: Vec<usize> = (0..r).collect();
+        let mut expected = 0i64;
+        for pick in crash_seq {
+            // Always keep one replica alive.
+            if alive.len() <= 1 {
+                break;
+            }
+            let victim = alive.remove(pick % alive.len());
+            ctxs[victim].domain().crash();
+            expected += 1;
+            prop_assert_eq!(c.add(1).unwrap(), expected);
+        }
+        // Final sanity: the call still works and failover trimmed the set.
+        expected += 1;
+        prop_assert_eq!(c.add(1).unwrap(), expected);
+        prop_assert!(Replicon::live_replicas(&c.0).unwrap() >= 1);
+    }
+
+    /// Marshal/unmarshal identity: an object shipped through a random
+    /// sequence of domains still reaches its servant, for every single-door
+    /// subcontract.
+    #[test]
+    fn objects_survive_random_domain_hops(
+        hops in proptest::collection::vec(0usize..4, 1..8),
+        which in 0usize..3,
+    ) {
+        let kernel = Kernel::new("prop");
+        let server = ctx_on(&kernel, "server");
+        let domains: Vec<Arc<DomainCtx>> =
+            (0..4).map(|i| ctx_on(&kernel, &format!("d{i}"))).collect();
+
+        let servant = CounterServant::new(7);
+        let mut obj: SpringObj = match which {
+            0 => Singleton.export(&server, servant).unwrap(),
+            1 => Simplex.export(&server, servant).unwrap(),
+            _ => {
+                let cluster = ClusterServer::new(&server).unwrap();
+                // Keep the cluster server alive for the whole test.
+                Box::leak(Box::new(cluster)).export(servant).unwrap()
+            }
+        };
+        for hop in hops {
+            obj = ship(obj, &domains[hop], &COUNTER_TYPE).unwrap();
+        }
+        prop_assert_eq!(CounterClient(obj).get().unwrap(), 7);
+    }
+
+    /// Cluster tag dispatch is bijective: with N objects behind one door,
+    /// every invocation in any order reaches exactly its own servant.
+    #[test]
+    fn cluster_tag_dispatch_is_bijective(
+        n in 1usize..24,
+        order in proptest::collection::vec(any::<usize>(), 1..64),
+    ) {
+        let kernel = Kernel::new("prop");
+        let server = ctx_on(&kernel, "server");
+        let cluster = ClusterServer::new(&server).unwrap();
+        let objs: Vec<CounterClient> = (0..n)
+            .map(|i| CounterClient(cluster.export(CounterServant::new(i as i64 * 100)).unwrap()))
+            .collect();
+        prop_assert_eq!(kernel.live_doors(), 1);
+        for pick in order {
+            let i = pick % n;
+            prop_assert_eq!(objs[i].get().unwrap(), i as i64 * 100);
+        }
+    }
+
+    /// Copies are independent: consuming any subset of copies leaves the
+    /// others working.
+    #[test]
+    fn copies_are_independent(n in 1usize..8, kill in proptest::collection::vec(any::<bool>(), 8)) {
+        let kernel = Kernel::new("prop");
+        let server = ctx_on(&kernel, "server");
+        let obj = Singleton.export(&server, CounterServant::new(1)).unwrap();
+        let mut copies = Vec::new();
+        for _ in 0..n {
+            copies.push(obj.copy().unwrap());
+        }
+        obj.consume().unwrap();
+        let mut survivors = Vec::new();
+        for (i, copy) in copies.into_iter().enumerate() {
+            if kill[i % kill.len()] {
+                copy.consume().unwrap();
+            } else {
+                survivors.push(copy);
+            }
+        }
+        for s in survivors {
+            prop_assert_eq!(CounterClient(s).get().unwrap(), 1);
+        }
+    }
+}

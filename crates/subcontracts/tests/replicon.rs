@@ -1,0 +1,198 @@
+//! Replicon subcontract (§5): failover on communication errors, replica-set
+//! piggybacking, and marshalling of the whole door set.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{ctx_on, ship, CounterClient, COUNTER_TYPE};
+use parking_lot::Mutex;
+use spring_kernel::Kernel;
+use spring_subcontracts::{ReplicaGroup, Replicon, RepliconServer};
+use subcontract::{DomainCtx, SpringError, SpringObj};
+
+/// Builds a group of `n` replicas, each in its own domain, sharing a common
+/// value through a shared servant state (state synchronization between
+/// servers is the application's business, §5; the services crate implements
+/// a real write-fanout server).
+fn build_group(kernel: &Kernel, n: usize) -> (ReplicaGroup, Vec<Arc<DomainCtx>>, Arc<Mutex<i64>>) {
+    let shared = Arc::new(Mutex::new(0i64));
+    let group = ReplicaGroup::new();
+    let mut ctxs = Vec::new();
+    for i in 0..n {
+        let ctx = ctx_on(kernel, &format!("replica-{i}"));
+        let servant = Arc::new(SharedCounter {
+            value: shared.clone(),
+        });
+        let server = RepliconServer::new(&ctx, servant).unwrap();
+        group.add(server).unwrap();
+        ctxs.push(ctx);
+    }
+    (group, ctxs, shared)
+}
+
+/// A counter whose state lives in shared storage, standing in for
+/// server-side state synchronization.
+struct SharedCounter {
+    value: Arc<Mutex<i64>>,
+}
+
+impl subcontract::Dispatch for SharedCounter {
+    fn type_info(&self) -> &'static subcontract::TypeInfo {
+        &COUNTER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &subcontract::ServerCtx,
+        op: u32,
+        args: &mut spring_buf::CommBuffer,
+        reply: &mut spring_buf::CommBuffer,
+    ) -> subcontract::Result<()> {
+        match op {
+            x if x == common::OP_GET => {
+                subcontract::encode_ok(reply);
+                reply.put_i64(*self.value.lock());
+                Ok(())
+            }
+            x if x == common::OP_ADD => {
+                let delta = args.get_i64()?;
+                let mut v = self.value.lock();
+                *v += delta;
+                subcontract::encode_ok(reply);
+                reply.put_i64(*v);
+                Ok(())
+            }
+            other => Err(SpringError::UnknownOp(other)),
+        }
+    }
+}
+
+#[test]
+fn calls_work_through_any_replica() {
+    let kernel = Kernel::new("t");
+    let (group, _ctxs, _shared) = build_group(&kernel, 3);
+    let client = ctx_on(&kernel, "client");
+
+    let obj = group.object_for(&client).unwrap();
+    assert_eq!(Replicon::live_replicas(&obj).unwrap(), 3);
+    let c = CounterClient(obj);
+    assert_eq!(c.add(5).unwrap(), 5);
+    assert_eq!(c.get().unwrap(), 5);
+}
+
+#[test]
+fn failover_deletes_dead_doors_and_succeeds() {
+    let kernel = Kernel::new("t");
+    let (group, ctxs, _shared) = build_group(&kernel, 3);
+    let client = ctx_on(&kernel, "client");
+    let obj = group.object_for(&client).unwrap();
+
+    // Kill the first two replicas; invoke must quietly fail over.
+    ctxs[0].domain().crash();
+    ctxs[1].domain().crash();
+
+    let c = CounterClient(obj);
+    assert_eq!(c.add(1).unwrap(), 1);
+    // The dead identifiers were deleted from the target set (§5.1.3).
+    assert_eq!(Replicon::live_replicas(&c.0).unwrap(), 1);
+}
+
+#[test]
+fn all_replicas_dead_is_exhaustion() {
+    let kernel = Kernel::new("t");
+    let (group, ctxs, _shared) = build_group(&kernel, 2);
+    let client = ctx_on(&kernel, "client");
+    let obj = group.object_for(&client).unwrap();
+
+    for ctx in &ctxs {
+        ctx.domain().crash();
+    }
+    let c = CounterClient(obj);
+    match c.get().unwrap_err() {
+        SpringError::Exhausted(_) => {}
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+    assert_eq!(Replicon::live_replicas(&c.0).unwrap(), 0);
+}
+
+#[test]
+fn piggybacked_update_restores_replica_set() {
+    let kernel = Kernel::new("t");
+    let (group, ctxs, shared) = build_group(&kernel, 2);
+    let client = ctx_on(&kernel, "client");
+    let obj = group.object_for(&client).unwrap();
+    let old_epoch = Replicon::epoch(&obj).unwrap();
+
+    // One replica dies; the group notices, removes it, and adds a fresh one.
+    ctxs[0].domain().crash();
+    group.remove_dead().unwrap();
+    let ctx_new = ctx_on(&kernel, "replica-new");
+    let servant = Arc::new(SharedCounter { value: shared });
+    group
+        .add(RepliconServer::new(&ctx_new, servant).unwrap())
+        .unwrap();
+    assert_eq!(group.len(), 2);
+
+    // The client still has the stale set (one dead + one live door). The
+    // next call fails over to the live replica, whose reply piggybacks the
+    // new replica set.
+    let c = CounterClient(obj);
+    assert_eq!(c.add(2).unwrap(), 2);
+    assert_eq!(Replicon::live_replicas(&c.0).unwrap(), 2);
+    assert!(Replicon::epoch(&c.0).unwrap() > old_epoch);
+
+    // And the adopted set is genuinely usable: kill the survivor of the
+    // original pair; the call fails over to the adopted replica.
+    ctxs[1].domain().crash();
+    assert_eq!(c.add(3).unwrap(), 5);
+}
+
+#[test]
+fn replicon_object_marshals_all_doors() {
+    let kernel = Kernel::new("t");
+    let (group, _ctxs, _shared) = build_group(&kernel, 3);
+    let a = ctx_on(&kernel, "a");
+    let b = ctx_on(&kernel, "b");
+
+    let obj = group.object_for(&a).unwrap();
+    let obj = ship(obj, &b, &COUNTER_TYPE).unwrap();
+    assert_eq!(Replicon::live_replicas(&obj).unwrap(), 3);
+    let c = CounterClient(obj);
+    assert_eq!(c.add(4).unwrap(), 4);
+}
+
+#[test]
+fn copy_duplicates_every_door() {
+    let kernel = Kernel::new("t");
+    let (group, ctxs, _shared) = build_group(&kernel, 2);
+    let client = ctx_on(&kernel, "client");
+    let obj = group.object_for(&client).unwrap();
+
+    let copy: SpringObj = obj.copy().unwrap();
+    assert_eq!(Replicon::live_replicas(&copy).unwrap(), 2);
+    obj.consume().unwrap();
+
+    // The copy survives the original's death and still fails over.
+    ctxs[0].domain().crash();
+    let c = CounterClient(copy);
+    assert_eq!(c.add(9).unwrap(), 9);
+}
+
+#[test]
+fn non_comm_errors_do_not_trigger_failover() {
+    let kernel = Kernel::new("t");
+    let (group, _ctxs, _shared) = build_group(&kernel, 3);
+    let client = ctx_on(&kernel, "client");
+    let obj = group.object_for(&client).unwrap();
+
+    // An unknown op is an application-level failure: no replicas may be
+    // dropped because of it.
+    let call = obj.start_call(0xBAD0_0BAD).unwrap();
+    let mut reply = obj.invoke(call).unwrap();
+    assert!(matches!(
+        subcontract::decode_reply_status(&mut reply).unwrap_err(),
+        SpringError::UnknownOp(_)
+    ));
+    assert_eq!(Replicon::live_replicas(&obj).unwrap(), 3);
+}

@@ -1,0 +1,134 @@
+//! Stream subcontract (§8.4 video direction): loss-tolerant frames and
+//! ordinary calls through one object, across a lossy network.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{ctx_on, CounterClient, CounterServant, COUNTER_TYPE};
+use parking_lot::Mutex;
+use spring_kernel::Kernel;
+use spring_net::{NetConfig, Network};
+use spring_subcontracts::stream::{FrameOutcome, Stream};
+use subcontract::{ship_object, DomainCtx};
+
+fn stream_ctx(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = ctx_on(kernel, name);
+    ctx.register_subcontract(Stream::new());
+    ctx
+}
+
+#[test]
+fn frames_and_calls_share_one_object() {
+    let kernel = Kernel::new("t");
+    let server = stream_ctx(&kernel, "server");
+    let client = stream_ctx(&kernel, "client");
+
+    let frames = Arc::new(Mutex::new(Vec::<(u64, Vec<u8>)>::new()));
+    let sink = {
+        let frames = frames.clone();
+        Arc::new(move |seq: u64, data: &[u8]| frames.lock().push((seq, data.to_vec())))
+    };
+    let (obj, stats) = Stream::export(&server, CounterServant::new(5), sink).unwrap();
+    let obj = common::ship(obj, &client, &COUNTER_TYPE).unwrap();
+
+    // Frames flow through the packet protocol...
+    for i in 0..4u8 {
+        assert_eq!(
+            Stream::send_frame(&obj, &[i; 3]).unwrap(),
+            FrameOutcome::Delivered
+        );
+    }
+    // ...while ordinary operations still use the request/reply wire.
+    assert_eq!(CounterClient(obj.copy().unwrap()).get().unwrap(), 5);
+
+    let got = frames.lock();
+    assert_eq!(got.len(), 4);
+    assert_eq!(got[0], (1, vec![0, 0, 0]));
+    assert_eq!(got[3], (4, vec![3, 3, 3]));
+    assert_eq!(stats.received(), 4);
+    assert_eq!(stats.missing(), 0);
+}
+
+#[test]
+fn lost_frames_are_dropped_not_errors() {
+    let net = Network::new(NetConfig {
+        drop_prob: 0.4,
+        ..Default::default()
+    });
+    net.reseed(7);
+    let a = net.add_node("sender-machine");
+    let b = net.add_node("receiver-machine");
+    let server = stream_ctx(b.kernel(), "receiver");
+    let client = stream_ctx(a.kernel(), "sender");
+
+    let (obj, stats) = Stream::export(
+        &server,
+        CounterServant::new(0),
+        Arc::new(|_: u64, _: &[u8]| {}),
+    )
+    .unwrap();
+    let obj = ship_object(&*net, obj, &client, &COUNTER_TYPE).unwrap();
+
+    let total = 200u64;
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    for i in 0..total {
+        match Stream::send_frame(&obj, &i.to_le_bytes()).unwrap() {
+            FrameOutcome::Delivered => delivered += 1,
+            FrameOutcome::Dropped => dropped += 1,
+        }
+    }
+    // With 40% loss some frames vanished and none errored. The receiver may
+    // have seen *more* frames than the sender counts as delivered: the
+    // frame's empty acknowledgement can be lost too, which a live stream
+    // also just shrugs off.
+    assert!(dropped > 0, "expected losses at drop_prob 0.4");
+    assert!(delivered > 0);
+    assert_eq!(delivered + dropped, total);
+    assert!(stats.received() >= delivered);
+    assert!(stats.received() < total);
+    assert_eq!(stats.highest_seq() - stats.received(), stats.missing());
+}
+
+#[test]
+fn dead_endpoint_is_an_error_not_a_drop() {
+    let kernel = Kernel::new("t");
+    let server = stream_ctx(&kernel, "server");
+    let client = stream_ctx(&kernel, "client");
+    let (obj, _stats) = Stream::export(
+        &server,
+        CounterServant::new(0),
+        Arc::new(|_: u64, _: &[u8]| {}),
+    )
+    .unwrap();
+    let obj = common::ship(obj, &client, &COUNTER_TYPE).unwrap();
+
+    server.domain().crash();
+    // A crashed receiver ends the stream; that is not tolerable loss.
+    assert!(Stream::send_frame(&obj, b"x").is_err());
+}
+
+#[test]
+fn sequence_numbering_survives_handoff() {
+    let kernel = Kernel::new("t");
+    let server = stream_ctx(&kernel, "server");
+    let a = stream_ctx(&kernel, "a");
+    let b = stream_ctx(&kernel, "b");
+
+    let (obj, stats) = Stream::export(
+        &server,
+        CounterServant::new(0),
+        Arc::new(|_: u64, _: &[u8]| {}),
+    )
+    .unwrap();
+    let obj = common::ship(obj, &a, &COUNTER_TYPE).unwrap();
+    Stream::send_frame(&obj, b"one").unwrap();
+    Stream::send_frame(&obj, b"two").unwrap();
+
+    // Hand the stream to another domain; numbering continues.
+    let obj = common::ship(obj, &b, &COUNTER_TYPE).unwrap();
+    Stream::send_frame(&obj, b"three").unwrap();
+    assert_eq!(stats.highest_seq(), 3);
+    assert_eq!(stats.out_of_order(), 0);
+}

@@ -1,0 +1,103 @@
+//! Caching subcontract across two machines (§8.2): the server exports
+//! `cacheable_file` objects; the client machine's cache manager serves
+//! repeated reads locally, dodging the network latency.
+//!
+//! Run with: `cargo run --example caching_files`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spring::core::{ship_object, DomainCtx};
+use spring::kernel::Kernel;
+use spring::naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring::net::{NetConfig, Network};
+use spring::services::{file_cache_manager, fs, FileServer};
+use spring::subcontracts::register_standard;
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    spring::services::register_fs_types(&ctx);
+    ctx
+}
+
+fn main() {
+    // Two machines, 500 µs apart.
+    let net = Network::new(NetConfig::with_latency(Duration::from_micros(500)));
+    let server_node = net.add_node("server-machine");
+    let client_node = net.add_node("client-machine");
+
+    let server_ctx = ctx_on(server_node.kernel(), "file-server");
+    let client_ctx = ctx_on(client_node.kernel(), "client");
+    let mgr_ctx = ctx_on(client_node.kernel(), "cache-manager");
+    let ns_ctx = ctx_on(client_node.kernel(), "name-server");
+
+    // The client machine's local naming carries its cache manager.
+    let ns = NameServer::new(&ns_ctx);
+    let manager = file_cache_manager(&mgr_ctx);
+    let mgr_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &mgr_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    mgr_names
+        .bind("cache_manager", &manager.export().unwrap())
+        .unwrap();
+    let client_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &client_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    client_ctx.set_resolver(Arc::new(client_names));
+
+    // The server exports a cacheable file; shipping it to the client
+    // machine attaches it to the local cache manager (§8.2's unmarshal).
+    let fileserver = FileServer::new(&server_ctx, "cache_manager");
+    fileserver.put("big", &vec![7u8; 32 * 1024]);
+    let obj = fileserver.export_cacheable("big").unwrap();
+    let f = fs::CacheableFile::from_obj(
+        ship_object(&*net, obj, &client_ctx, &fs::CACHEABLE_FILE_TYPE).unwrap(),
+    )
+    .unwrap();
+
+    // Read the same range many times: first read crosses the network, the
+    // rest are local cache hits.
+    let before = net.stats();
+    let start = Instant::now();
+    for _ in 0..50 {
+        let _ = f.read(0, 4096).unwrap();
+    }
+    let elapsed = start.elapsed();
+    let delta = net.stats().since(&before);
+
+    println!("50 reads took {elapsed:?}");
+    println!(
+        "network messages: {} (cache hits stayed on-machine)",
+        delta.messages
+    );
+    println!(
+        "cache stats: hits={} misses={}",
+        manager.stats().hits(),
+        manager.stats().misses()
+    );
+
+    // A write invalidates the cache (write-through), so the next read
+    // crosses the network again.
+    f.write(0, b"fresh").unwrap();
+    let _ = f.read(0, 5).unwrap();
+    println!(
+        "after write: invalidations={} misses={}",
+        manager.stats().invalidations(),
+        manager.stats().misses()
+    );
+}

@@ -1,0 +1,123 @@
+//! Dynamic subcontract discovery (§6.2): an "old" program that was never
+//! linked with replicated-object support receives a replicon object, and
+//! the base system dynamically loads the right subcontract library — while
+//! refusing libraries outside the trusted search path.
+//!
+//! Run with: `cargo run --example dynamic_discovery`
+
+use std::sync::Arc;
+
+use spring::core::{ship_object, DomainCtx, LibraryStore, MapLibraryNames, SpringError, TypeInfo};
+use spring::kernel::Kernel;
+use spring::subcontracts::{
+    register_standard, standard_library, ReplicaGroup, Replicon, RepliconServer, Singleton,
+};
+
+static COUNTER_TYPE: TypeInfo = TypeInfo {
+    name: "counter",
+    parents: &[&spring::core::OBJECT_TYPE],
+    default_subcontract: Singleton::ID,
+};
+
+struct Counter;
+
+impl spring::core::Dispatch for Counter {
+    fn type_info(&self) -> &'static TypeInfo {
+        &COUNTER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &spring::core::ServerCtx,
+        op: u32,
+        _args: &mut spring::buf::CommBuffer,
+        reply: &mut spring::buf::CommBuffer,
+    ) -> spring::core::Result<()> {
+        if op == spring::core::op_hash("get") {
+            spring::core::encode_ok(reply);
+            reply.put_i64(42);
+            Ok(())
+        } else {
+            Err(SpringError::UnknownOp(op))
+        }
+    }
+}
+
+fn main() {
+    let kernel = Kernel::new("machine");
+
+    // A modern server exporting a *replicated* counter.
+    let server_ctx = DomainCtx::new(kernel.create_domain("server"));
+    register_standard(&server_ctx);
+    let group = ReplicaGroup::new();
+    group
+        .add(RepliconServer::new(&server_ctx, Arc::new(Counter)).unwrap())
+        .unwrap();
+    let obj = group.object_for(&server_ctx).unwrap();
+
+    // An old program: only linked with singleton, knows nothing of replicon.
+    let old_ctx = DomainCtx::new(kernel.create_domain("old-program"));
+    old_ctx.register_subcontract(Singleton::new());
+    old_ctx.types().register(&COUNTER_TYPE);
+
+    // First attempt: no discovery configured — the unmarshal fails.
+    let copy = obj.copy().unwrap();
+    match ship_object(
+        &spring::core::KernelTransport,
+        copy,
+        &old_ctx,
+        &COUNTER_TYPE,
+    ) {
+        Err(SpringError::UnknownSubcontract(id)) => {
+            println!("without discovery: unknown subcontract {id} (as expected)");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // The administrator installs the standard subcontract library in a
+    // trusted directory, and the naming context maps the identifier to it.
+    let store = LibraryStore::new();
+    store.install("standard.so", "/usr/lib/subcontracts", standard_library());
+    store.install("evil.so", "/tmp/downloads", standard_library());
+    let names = MapLibraryNames::new();
+    names.bind(Replicon::ID, "standard.so");
+    old_ctx.configure_loader(store.clone(), vec!["/usr/lib/subcontracts".into()]);
+    old_ctx.set_library_names(names.clone());
+
+    // Second attempt: the registry misses, the naming context supplies the
+    // library name, the dynamic linker loads it, unmarshalling continues.
+    let arrived =
+        ship_object(&spring::core::KernelTransport, obj, &old_ctx, &COUNTER_TYPE).unwrap();
+    println!(
+        "with discovery: received a {} object via subcontract {:?}",
+        arrived.type_name(),
+        arrived.subcontract().name()
+    );
+    let call = arrived.start_call(spring::core::op_hash("get")).unwrap();
+    let mut reply = arrived.invoke(call).unwrap();
+    spring::core::decode_reply_status(&mut reply).unwrap();
+    println!("invoking it works: get() = {}", reply.get_i64().unwrap());
+
+    // Security: a subcontract nominated from an untrusted location is
+    // refused (§6.2's designated search path).
+    let names2 = MapLibraryNames::new();
+    names2.bind(Replicon::ID, "evil.so");
+    let victim_ctx = DomainCtx::new(kernel.create_domain("victim"));
+    victim_ctx.register_subcontract(Singleton::new());
+    victim_ctx.types().register(&COUNTER_TYPE);
+    victim_ctx.configure_loader(store, vec!["/usr/lib/subcontracts".into()]);
+    victim_ctx.set_library_names(names2);
+
+    let another = group.object_for(&server_ctx).unwrap();
+    match ship_object(
+        &spring::core::KernelTransport,
+        another,
+        &victim_ctx,
+        &COUNTER_TYPE,
+    ) {
+        Err(SpringError::UntrustedLibrary { library, location }) => {
+            println!("refused to load {library} from untrusted {location}");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's §8.4 future directions, implemented and running: priority
+//! transfer, transaction control information, and a loss-tolerant video
+//! stream — all introduced without touching the base system.
+//!
+//! Run with: `cargo run --example extension_subcontracts`
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spring::buf::CommBuffer;
+use spring::core::{
+    encode_ok, op_hash, DomainCtx, Result, ServerCtx, ServerSubcontract, SpringError, TypeInfo,
+};
+use spring::kernel::Kernel;
+use spring::net::{NetConfig, Network};
+use spring::subcontracts::priority::{current_call_priority, Priority};
+use spring::subcontracts::stream::{FrameOutcome, Stream};
+use spring::subcontracts::txn::{current_txn, Txn, TxnScope};
+use spring::subcontracts::{register_standard, Singleton};
+
+static WORKER_TYPE: TypeInfo = TypeInfo {
+    name: "worker",
+    parents: &[&spring::core::OBJECT_TYPE],
+    default_subcontract: Singleton::ID,
+};
+
+const OP_WORK: u32 = op_hash("work");
+
+/// A servant that reports what the subcontract layer told it about the call.
+struct Worker {
+    log: Mutex<Vec<String>>,
+}
+
+impl spring::core::Dispatch for Worker {
+    fn type_info(&self) -> &'static TypeInfo {
+        &WORKER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        _args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        if op != OP_WORK {
+            return Err(SpringError::UnknownOp(op));
+        }
+        self.log.lock().push(format!(
+            "work() at priority {} in txn {}",
+            current_call_priority(),
+            current_txn()
+        ));
+        encode_ok(reply);
+        Ok(())
+    }
+}
+
+fn work(obj: &spring::core::SpringObj) {
+    let call = obj.start_call(OP_WORK).unwrap();
+    let mut reply = obj.invoke(call).unwrap();
+    spring::core::decode_reply_status(&mut reply).unwrap();
+}
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    ctx.register_subcontract(Priority::new());
+    ctx.register_subcontract(Txn::new());
+    ctx.register_subcontract(Stream::new());
+    ctx.types().register(&WORKER_TYPE);
+    ctx
+}
+
+fn main() {
+    let kernel = Kernel::new("machine");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+
+    // --- Priority transfer (§8.4) ---
+    let worker = Arc::new(Worker {
+        log: Mutex::new(Vec::new()),
+    });
+    let pobj = Priority.export(&server, worker.clone()).unwrap();
+    let pobj =
+        spring::core::ship_object(&spring::core::KernelTransport, pobj, &client, &WORKER_TYPE)
+            .unwrap();
+    Priority::set_priority(&pobj, 3).unwrap();
+    work(&pobj);
+    Priority::set_priority(&pobj, 9).unwrap();
+    work(&pobj);
+
+    // --- Transaction control information (§8.4) ---
+    let (tobj, journal) = Txn::export_with_journal(&server, worker.clone()).unwrap();
+    let tobj =
+        spring::core::ship_object(&spring::core::KernelTransport, tobj, &client, &WORKER_TYPE)
+            .unwrap();
+    {
+        let _scope = TxnScope::begin(4242);
+        work(&tobj);
+        work(&tobj);
+    }
+    work(&tobj); // Outside the transaction.
+
+    println!("servant observations:");
+    for line in worker.log.lock().iter() {
+        println!("  {line}");
+    }
+    println!("txn journal: {:?}", journal.entries());
+
+    // --- Live video over a lossy network (§8.4) ---
+    let net = Network::new(NetConfig {
+        drop_prob: 0.25,
+        ..Default::default()
+    });
+    net.reseed(42);
+    let cam_node = net.add_node("camera");
+    let tv_node = net.add_node("display");
+    let display = ctx_on(tv_node.kernel(), "display");
+    let camera = ctx_on(cam_node.kernel(), "camera");
+
+    let (vobj, stats) = Stream::export(
+        &display,
+        worker,
+        Arc::new(|_seq: u64, _frame: &[u8]| { /* render */ }),
+    )
+    .unwrap();
+    let vobj = spring::core::ship_object(&*net, vobj, &camera, &WORKER_TYPE).unwrap();
+
+    let mut dropped = 0;
+    for i in 0..120u64 {
+        if Stream::send_frame(&vobj, &vec![0u8; 512 + i as usize]).unwrap() == FrameOutcome::Dropped
+        {
+            dropped += 1;
+        }
+    }
+    println!(
+        "\nvideo: sent 120 frames over a 25%-loss link; {} dropped in flight, \
+         display rendered {} (gaps tolerated: {})",
+        dropped,
+        stats.received(),
+        stats.missing()
+    );
+}

@@ -1,0 +1,141 @@
+//! A tiny shell over the Spring file service — the kind of client program
+//! the whole stack exists for. Commands arrive as arguments (separated by
+//! `;`) or, with no arguments, a demo script runs.
+//!
+//! ```text
+//! cargo run --example fs_shell -- 'create /notes ; write /notes hello ; cat /notes ; ls'
+//! ```
+//!
+//! Commands: `ls`, `create NAME`, `rm NAME`, `write NAME TEXT`, `cat NAME`,
+//! `stat NAME`, `import NAME FROM` (copy-mode object parameter).
+
+use std::sync::Arc;
+
+use spring::core::{ship_object, DomainCtx, KernelTransport};
+use spring::kernel::Kernel;
+use spring::naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring::services::{fs, FileServer};
+use spring::subcontracts::register_standard;
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    spring::services::register_fs_types(&ctx);
+    ctx
+}
+
+fn run_command(fsys: &fs::FileSystem, line: &str) {
+    let mut words = line.split_whitespace();
+    let Some(cmd) = words.next() else { return };
+    let result: Result<String, String> = (|| {
+        let mut arg = || {
+            words
+                .next()
+                .ok_or_else(|| format!("{cmd}: missing argument"))
+        };
+        match cmd {
+            "ls" => {
+                let names = fsys.list().map_err(|e| e.to_string())?;
+                Ok(names.join("  "))
+            }
+            "create" => {
+                fsys.create(arg()?).map_err(|e| e.to_string())?;
+                Ok("ok".into())
+            }
+            "rm" => {
+                fsys.remove(arg()?).map_err(|e| e.to_string())?;
+                Ok("ok".into())
+            }
+            "write" => {
+                let name = arg()?;
+                let f = fsys.open(name).map_err(|e| e.to_string())?;
+                let text: Vec<&str> = words.collect();
+                let data = text.join(" ").into_bytes();
+                f.truncate(0).map_err(|e| e.to_string())?;
+                f.write(0, &data).map_err(|e| e.to_string())?;
+                Ok(format!("wrote {} bytes", data.len()))
+            }
+            "cat" => {
+                let f = fsys.open(arg()?).map_err(|e| e.to_string())?;
+                let size = f.size().map_err(|e| e.to_string())?;
+                let data = f.read(0, size).map_err(|e| e.to_string())?;
+                Ok(String::from_utf8_lossy(&data).into_owned())
+            }
+            "stat" => {
+                let f = fsys.open(arg()?).map_err(|e| e.to_string())?;
+                let st = f.stat().map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "size={} version={} writable={}",
+                    st.size, st.version, st.writable
+                ))
+            }
+            "import" => {
+                let name = arg()?;
+                let from = arg()?;
+                // Copy-mode object parameter: we keep our file object.
+                let src = fsys.open(from).map_err(|e| e.to_string())?;
+                fsys.import_file(name, &src).map_err(|e| e.to_string())?;
+                Ok("imported".into())
+            }
+            other => Err(format!("unknown command {other:?}")),
+        }
+    })();
+    match result {
+        Ok(out) => println!("spring-fs> {line}\n{out}"),
+        Err(err) => println!("spring-fs> {line}\nerror: {err}"),
+    }
+}
+
+fn main() {
+    // One machine: a name server, the file server, and this shell.
+    let kernel = Kernel::new("machine");
+    let ns_ctx = ctx_on(&kernel, "name-server");
+    let fs_ctx = ctx_on(&kernel, "file-server");
+    let shell_ctx = ctx_on(&kernel, "shell");
+
+    let ns = NameServer::new(&ns_ctx);
+    let fileserver = FileServer::new(&fs_ctx, "cache_manager");
+    fileserver.put("/etc/motd", b"welcome to spring-fs");
+    let fs_names = NameClient::from_obj(
+        ship_object(
+            &KernelTransport,
+            ns.root_object().unwrap(),
+            &fs_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    fs_names
+        .bind_consume("fs", fileserver.export_fs().unwrap().into_obj())
+        .unwrap();
+
+    let shell_names = NameClient::from_obj(
+        ship_object(
+            &KernelTransport,
+            ns.root_object().unwrap(),
+            &shell_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let fsys = fs::FileSystem::from_obj(shell_names.resolve("fs", &fs::FILE_SYSTEM_TYPE).unwrap())
+        .unwrap();
+
+    let script = std::env::args().skip(1).collect::<Vec<_>>().join(" ");
+    let script = if script.trim().is_empty() {
+        "ls ; cat /etc/motd ; create /notes ; write /notes remember the doors ; \
+         cat /notes ; stat /notes ; import /notes.bak /notes ; cat /notes.bak ; ls"
+            .to_owned()
+    } else {
+        script
+    };
+
+    for line in script.split(';') {
+        let line = line.trim();
+        if !line.is_empty() {
+            run_command(&fsys, line);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Reconnectable subcontract (§8.3): a client's object quietly survives a
+//! server crash and restart by re-resolving its name.
+//!
+//! Run with: `cargo run --example reconnectable_service`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use spring::core::{ship_object, DomainCtx, KernelTransport};
+use spring::kernel::Kernel;
+use spring::naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring::services::fs;
+use spring::subcontracts::{register_standard, Reconnectable, RetryPolicy};
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    // Snappy retries for the demo.
+    ctx.register_subcontract(Reconnectable::with_policy(RetryPolicy {
+        max_attempts: 20,
+        interval: Duration::from_millis(5),
+    }));
+    spring::services::register_fs_types(&ctx);
+    ctx
+}
+
+/// A file servant whose contents stand in for stable storage: every server
+/// generation re-reads the same bytes.
+struct JournalServant {
+    content: Mutex<Vec<u8>>,
+}
+
+impl fs::FileServant for JournalServant {
+    fn size(&self) -> Result<i64, fs::FileError> {
+        Ok(self.content.lock().len() as i64)
+    }
+
+    fn read(&self, offset: i64, count: i64) -> Result<Vec<u8>, fs::FileError> {
+        let c = self.content.lock();
+        let start = (offset.max(0) as usize).min(c.len());
+        let end = (start + count.max(0) as usize).min(c.len());
+        Ok(c[start..end].to_vec())
+    }
+
+    fn write(&self, offset: i64, data: Vec<u8>) -> Result<(), fs::FileError> {
+        let mut c = self.content.lock();
+        let end = offset as usize + data.len();
+        if c.len() < end {
+            c.resize(end, 0);
+        }
+        c[offset as usize..end].copy_from_slice(&data);
+        Ok(())
+    }
+
+    fn truncate(&self, new_size: i64) -> Result<(), fs::FileError> {
+        self.content.lock().truncate(new_size.max(0) as usize);
+        Ok(())
+    }
+
+    fn stat(&self) -> Result<fs::FileStat, fs::FileError> {
+        Ok(fs::FileStat {
+            size: self.content.lock().len() as i64,
+            version: 1,
+            writable: true,
+        })
+    }
+
+    fn version(&self) -> Result<i64, fs::FileError> {
+        Ok(1)
+    }
+}
+
+/// One "generation" of the stable-storage server: exports its file under a
+/// well-known name via the reconnectable subcontract and (re-)binds it.
+fn start_server(
+    kernel: &Kernel,
+    ns: &Arc<NameServer>,
+    generation: u32,
+    stable_content: &[u8],
+) -> Arc<DomainCtx> {
+    let ctx = ctx_on(kernel, &format!("server-gen{generation}"));
+    let servant = Arc::new(JournalServant {
+        content: Mutex::new(stable_content.to_vec()),
+    });
+    let obj = Reconnectable::export(&ctx, fs::FileSkeleton::new(servant), "svc/journal").unwrap();
+
+    let names = NameClient::from_obj(
+        ship_object(
+            &KernelTransport,
+            ns.root_object().unwrap(),
+            &ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let _ = names.create_context("svc");
+    let _ = names.unbind("svc/journal");
+    names.bind_consume("svc/journal", obj).unwrap();
+    ctx
+}
+
+fn main() {
+    let kernel = Kernel::new("machine");
+    let ns_ctx = ctx_on(&kernel, "name-server");
+    let ns = NameServer::new(&ns_ctx);
+
+    // Generation 1 of the server.
+    let gen1 = start_server(&kernel, &ns, 1, b"stable journal contents");
+
+    // A client picks the object up by name; its domain resolver points at
+    // the same name service, which is what reconnect uses later.
+    let client_ctx = ctx_on(&kernel, "client");
+    let client_names = NameClient::from_obj(
+        ship_object(
+            &KernelTransport,
+            ns.root_object().unwrap(),
+            &client_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let f =
+        fs::File::from_obj(client_names.resolve("svc/journal", &fs::FILE_TYPE).unwrap()).unwrap();
+    client_ctx.set_resolver(Arc::new(client_names));
+    println!(
+        "read: {:?}",
+        String::from_utf8(f.read(0, 64).unwrap()).unwrap()
+    );
+
+    // The server crashes...
+    println!("\n*** server crashes ***");
+    gen1.domain().crash();
+
+    // ...and a new generation restarts from stable storage, re-binding the
+    // same name while the client's call retries in the background.
+    let kernel2 = kernel.clone();
+    let ns2 = ns.clone();
+    let restarter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        println!("*** server restarts ***");
+        start_server(&kernel2, &ns2, 2, b"stable journal contents")
+    });
+
+    // This call spans the outage: it fails, re-resolves periodically, and
+    // succeeds once the restart lands — the client code never noticed.
+    println!(
+        "read across the crash: {:?}",
+        String::from_utf8(f.read(0, 64).unwrap()).unwrap()
+    );
+    restarter.join().unwrap();
+}

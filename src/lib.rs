@@ -1,0 +1,77 @@
+//! Facade crate for the Spring subcontract reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency. See the README for an
+//! architecture overview and DESIGN.md for the system inventory.
+//!
+//! # Examples
+//!
+//! Export an object through one subcontract, move it to another domain, and
+//! invoke it — the §7 life cycle in miniature:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use spring::buf::CommBuffer;
+//! use spring::core::{
+//!     encode_ok, op_hash, ship_object, Dispatch, DomainCtx, KernelTransport, Result,
+//!     ServerCtx, ServerSubcontract, SpringError, TypeInfo, OBJECT_TYPE,
+//! };
+//! use spring::kernel::Kernel;
+//! use spring::subcontracts::{register_standard, Simplex};
+//!
+//! static GREETER_TYPE: TypeInfo = TypeInfo {
+//!     name: "greeter",
+//!     parents: &[&OBJECT_TYPE],
+//!     default_subcontract: spring::subcontracts::Singleton::ID,
+//! };
+//!
+//! struct Greeter;
+//! impl Dispatch for Greeter {
+//!     fn type_info(&self) -> &'static TypeInfo {
+//!         &GREETER_TYPE
+//!     }
+//!     fn dispatch(
+//!         &self,
+//!         _sctx: &ServerCtx,
+//!         op: u32,
+//!         args: &mut CommBuffer,
+//!         reply: &mut CommBuffer,
+//!     ) -> Result<()> {
+//!         if op == op_hash("greet") {
+//!             let name = args.get_string()?;
+//!             encode_ok(reply);
+//!             reply.put_string(&format!("hello, {name}"));
+//!             Ok(())
+//!         } else {
+//!             Err(SpringError::UnknownOp(op))
+//!         }
+//!     }
+//! }
+//!
+//! let kernel = Kernel::new("machine");
+//! let server = DomainCtx::new(kernel.create_domain("server"));
+//! let client = DomainCtx::new(kernel.create_domain("client"));
+//! register_standard(&server);
+//! register_standard(&client);
+//! client.types().register(&GREETER_TYPE);
+//!
+//! // Birth at the server, transmission to the client.
+//! let obj = Simplex.export(&server, Arc::new(Greeter)).unwrap();
+//! let obj = ship_object(&KernelTransport, obj, &client, &GREETER_TYPE).unwrap();
+//!
+//! // Invocation through the (hand-rolled) stub.
+//! let mut call = obj.start_call(op_hash("greet")).unwrap();
+//! call.put_string("spring");
+//! let mut reply = obj.invoke(call).unwrap();
+//! spring::core::decode_reply_status(&mut reply).unwrap();
+//! assert_eq!(reply.get_string().unwrap(), "hello, spring");
+//! ```
+
+pub use spring_buf as buf;
+pub use spring_idl as idl;
+pub use spring_kernel as kernel;
+pub use spring_naming as naming;
+pub use spring_net as net;
+pub use spring_services as services;
+pub use spring_subcontracts as subcontracts;
+pub use subcontract as core;

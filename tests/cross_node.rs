@@ -1,0 +1,267 @@
+//! Cross-machine behaviour under fault injection: caching wins, replicon
+//! failover over partitions, and reconnection through the real name service.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spring::core::{ship_object, DomainCtx};
+use spring::kernel::Kernel;
+use spring::naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring::net::{NetConfig, Network};
+use spring::services::{file_cache_manager, fs, FileServer, ReplicatedFileGroup};
+use spring::subcontracts::{register_standard, Reconnectable, RetryPolicy};
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    spring::services::register_fs_types(&ctx);
+    ctx
+}
+
+#[test]
+fn caching_avoids_network_traffic() {
+    let net = Network::new(NetConfig::default());
+    let server_node = net.add_node("server");
+    let client_node = net.add_node("client");
+
+    let server_ctx = ctx_on(server_node.kernel(), "fileserver");
+    let client_ctx = ctx_on(client_node.kernel(), "client");
+    let mgr_ctx = ctx_on(client_node.kernel(), "manager");
+    let ns_ctx = ctx_on(client_node.kernel(), "naming");
+
+    let ns = NameServer::new(&ns_ctx);
+    let manager = file_cache_manager(&mgr_ctx);
+    let mgr_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &mgr_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    mgr_names
+        .bind("cache_manager", &manager.export().unwrap())
+        .unwrap();
+    let client_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &client_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    client_ctx.set_resolver(Arc::new(client_names));
+
+    let fileserver = FileServer::new(&server_ctx, "cache_manager");
+    fileserver.put("data", b"highly cacheable");
+    let cached = fs::CacheableFile::from_obj(
+        ship_object(
+            &*net,
+            fileserver.export_cacheable("data").unwrap(),
+            &client_ctx,
+            &fs::CACHEABLE_FILE_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    // First read crosses the wire; the rest are answered on-machine.
+    let before = net.stats();
+    for _ in 0..20 {
+        assert_eq!(cached.read(0, 6).unwrap(), b"highly");
+    }
+    let delta = net.stats().since(&before);
+    assert_eq!(
+        delta.calls_forwarded, 1,
+        "only the cache miss crossed the network"
+    );
+    assert_eq!(manager.stats().hits(), 19);
+
+    // Versus an uncached file: every read crosses.
+    fileserver.put("raw", b"not cached");
+    let raw = fs::File::from_obj(
+        ship_object(
+            &*net,
+            fileserver.export_file("raw").unwrap(),
+            &client_ctx,
+            &fs::FILE_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let before = net.stats();
+    for _ in 0..20 {
+        assert_eq!(raw.read(0, 3).unwrap(), b"not");
+    }
+    assert_eq!(net.stats().since(&before).calls_forwarded, 20);
+}
+
+#[test]
+fn replicon_survives_partition_then_crash() {
+    let net = Network::new(NetConfig::default());
+    let nodes: Vec<_> = (0..3).map(|i| net.add_node(format!("r{i}"))).collect();
+    let client_node = net.add_node("client");
+
+    let replica_ctxs: Vec<Arc<DomainCtx>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| ctx_on(n.kernel(), &format!("replica-{i}")))
+        .collect();
+    let client_ctx = ctx_on(client_node.kernel(), "client");
+
+    let group =
+        ReplicatedFileGroup::build_with_transport(&replica_ctxs, b"alpha", net.clone()).unwrap();
+    let f = group.object_for(&client_ctx).unwrap();
+    assert_eq!(f.read(0, 5).unwrap(), b"alpha");
+
+    // Partition the client from the first replica's machine: invoke fails
+    // over to a reachable one without dropping the call.
+    net.partition(client_node.id(), nodes[0].id());
+    assert_eq!(f.read(0, 5).unwrap(), b"alpha");
+    net.heal_all();
+
+    // Now crash a machine outright; group management removes it and the
+    // reply piggyback refreshes the client's door set.
+    group.crash_replica(1).unwrap();
+    f.write(0, b"bravo").unwrap();
+    assert_eq!(group.replica_content(0), b"bravo");
+    assert_eq!(group.replica_content(2), b"bravo");
+}
+
+#[test]
+fn reconnect_through_real_naming_across_machines() {
+    let net = Network::new(NetConfig::default());
+    let server_node = net.add_node("server");
+    let client_node = net.add_node("client");
+    let ns_node = net.add_node("naming");
+
+    let policy = RetryPolicy {
+        max_attempts: 20,
+        interval: Duration::from_millis(2),
+    };
+    let make_ctx = |kernel: &Kernel, name: &str| {
+        let ctx = ctx_on(kernel, name);
+        ctx.register_subcontract(Reconnectable::with_policy(policy));
+        ctx
+    };
+
+    let ns_ctx = make_ctx(ns_node.kernel(), "name-server");
+    let ns = NameServer::new(&ns_ctx);
+
+    // Generation 1 of a file service, reconnectable under "svc".
+    let gen1 = make_ctx(server_node.kernel(), "server-gen1");
+    let fileserver1 = FileServer::new(&gen1, "m");
+    fileserver1.put("state", b"persistent");
+    let disp = {
+        // Reconnectable needs the skeleton; build one over the servant the
+        // file server would use.
+        struct Stateless(Arc<FileServer>);
+        impl fs::FileServant for Stateless {
+            fn size(&self) -> Result<i64, fs::FileError> {
+                self.file().size()
+            }
+            fn read(&self, o: i64, c: i64) -> Result<Vec<u8>, fs::FileError> {
+                self.file().read(o, c)
+            }
+            fn write(&self, o: i64, d: Vec<u8>) -> Result<(), fs::FileError> {
+                self.file().write(o, &d)
+            }
+            fn truncate(&self, s: i64) -> Result<(), fs::FileError> {
+                self.file().truncate(s)
+            }
+            fn stat(&self) -> Result<fs::FileStat, fs::FileError> {
+                self.file().stat()
+            }
+            fn version(&self) -> Result<i64, fs::FileError> {
+                self.file().version()
+            }
+        }
+        impl Stateless {
+            fn file(&self) -> fs::File {
+                fs::File::from_obj(self.0.export_file("state").unwrap()).unwrap()
+            }
+        }
+        fs::FileSkeleton::new(Arc::new(Stateless(fileserver1.clone())))
+    };
+    let obj = Reconnectable::export(&gen1, disp, "svc").unwrap();
+    let gen1_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &gen1,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    gen1_names.bind("svc", &obj).unwrap();
+
+    // Client on another machine.
+    let client_ctx = make_ctx(client_node.kernel(), "client");
+    let client_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &client_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let f = fs::File::from_obj(client_names.resolve("svc", &fs::FILE_TYPE).unwrap()).unwrap();
+    client_ctx.set_resolver(Arc::new(client_names));
+    assert_eq!(f.read(0, 10).unwrap(), b"persistent");
+
+    // Crash generation 1; restart generation 2 on the same machine and
+    // re-bind the name.
+    gen1.domain().crash();
+    let gen2 = make_ctx(server_node.kernel(), "server-gen2");
+    let servant2 = {
+        struct Fixed;
+        impl fs::FileServant for Fixed {
+            fn size(&self) -> Result<i64, fs::FileError> {
+                Ok(10)
+            }
+            fn read(&self, _o: i64, _c: i64) -> Result<Vec<u8>, fs::FileError> {
+                Ok(b"persistent".to_vec())
+            }
+            fn write(&self, _o: i64, _d: Vec<u8>) -> Result<(), fs::FileError> {
+                Ok(())
+            }
+            fn truncate(&self, _s: i64) -> Result<(), fs::FileError> {
+                Ok(())
+            }
+            fn stat(&self) -> Result<fs::FileStat, fs::FileError> {
+                Ok(fs::FileStat {
+                    size: 10,
+                    version: 1,
+                    writable: true,
+                })
+            }
+            fn version(&self) -> Result<i64, fs::FileError> {
+                Ok(1)
+            }
+        }
+        fs::FileSkeleton::new(Arc::new(Fixed))
+    };
+    let obj2 = Reconnectable::export(&gen2, servant2, "svc").unwrap();
+    let gen2_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &gen2,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    gen2_names.unbind("svc").unwrap();
+    gen2_names.bind_consume("svc", obj2).unwrap();
+
+    // The client's next call reconnects across the network.
+    assert_eq!(f.read(0, 10).unwrap(), b"persistent");
+}

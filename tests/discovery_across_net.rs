@@ -1,0 +1,123 @@
+//! §6.2 with every piece at full distance: the naming context lives on one
+//! machine, the replicated service on a second, and the old program on a
+//! third — the subcontract identifier is resolved over the network, the
+//! library is linked, and the freshly learned subcontract talks through
+//! proxy doors.
+
+use std::sync::Arc;
+
+use spring::core::{op_hash, ship_object, DomainCtx, LibraryStore, ScId, SpringError, TypeInfo};
+use spring::kernel::Kernel;
+use spring::naming::{NameClient, NameServer, NamingLibraryNames, NAMING_CONTEXT_TYPE};
+use spring::net::{NetConfig, Network};
+use spring::subcontracts::{
+    register_standard, standard_library, ReplicaGroup, Replicon, RepliconServer, Simplex, Singleton,
+};
+
+static COUNTER_TYPE: TypeInfo = TypeInfo {
+    name: "counter",
+    parents: &[&spring::core::OBJECT_TYPE],
+    default_subcontract: Singleton::ID,
+};
+
+struct Fixed(i64);
+
+impl spring::core::Dispatch for Fixed {
+    fn type_info(&self) -> &'static TypeInfo {
+        &COUNTER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &spring::core::ServerCtx,
+        op: u32,
+        _args: &mut spring::buf::CommBuffer,
+        reply: &mut spring::buf::CommBuffer,
+    ) -> spring::core::Result<()> {
+        if op == op_hash("get") {
+            spring::core::encode_ok(reply);
+            reply.put_i64(self.0);
+            Ok(())
+        } else {
+            Err(SpringError::UnknownOp(op))
+        }
+    }
+}
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    ctx.types().register(&COUNTER_TYPE);
+    ctx
+}
+
+#[test]
+fn dynamic_discovery_spans_three_machines() {
+    let net = Network::new(NetConfig::default());
+    let naming_node = net.add_node("naming-machine");
+    let service_node = net.add_node("service-machine");
+    let client_node = net.add_node("client-machine");
+
+    // The name service.
+    let ns_ctx = ctx_on(naming_node.kernel(), "name-server");
+    let ns = NameServer::new(&ns_ctx);
+
+    // The administrator (on the naming machine) installs the library on the
+    // client machine's store and publishes the ID -> library mapping.
+    let store = LibraryStore::new();
+    store.install("replicon.so", "/usr/lib/subcontracts", standard_library());
+    let admin_ctx = ctx_on(naming_node.kernel(), "admin");
+    let admin_names = NamingLibraryNames::new(
+        NameClient::from_obj(
+            ship_object(
+                &*net,
+                ns.root_object().unwrap(),
+                &admin_ctx,
+                &NAMING_CONTEXT_TYPE,
+            )
+            .unwrap(),
+        )
+        .unwrap(),
+        "subcontracts",
+    );
+    admin_names
+        .publish(&admin_ctx, Replicon::ID, "replicon.so")
+        .unwrap();
+
+    // A replicated counter on the service machine.
+    let service_ctx = ctx_on(service_node.kernel(), "service");
+    let group = ReplicaGroup::with_transport(net.clone());
+    group
+        .add(RepliconServer::new(&service_ctx, Arc::new(Fixed(2026))).unwrap())
+        .unwrap();
+
+    // The old program on a third machine: standard client-server
+    // subcontracts only, no replicon, naming reached over the network.
+    let old = DomainCtx::new(client_node.kernel().create_domain("old-program"));
+    old.register_subcontract(Singleton::new());
+    old.register_subcontract(Simplex::new());
+    old.types().register(&COUNTER_TYPE);
+    old.configure_loader(store, vec!["/usr/lib/subcontracts".into()]);
+    old.set_library_names(NamingLibraryNames::new(
+        NameClient::from_obj(
+            ship_object(&*net, ns.root_object().unwrap(), &old, &NAMING_CONTEXT_TYPE).unwrap(),
+        )
+        .unwrap(),
+        "subcontracts",
+    ));
+
+    // Moment of truth: a replicon object crosses two network hops into a
+    // program that has never heard of replication.
+    let before = net.stats();
+    let obj = group.object_for(&service_ctx).unwrap();
+    let arrived = ship_object(&*net, obj, &old, &COUNTER_TYPE).unwrap();
+    assert_eq!(arrived.subcontract().name(), "replicon");
+    // Discovery really went over the wire (naming calls were forwarded).
+    assert!(net.stats().since(&before).calls_forwarded >= 1);
+
+    let call = arrived.start_call(op_hash("get")).unwrap();
+    let mut reply = arrived.invoke(call).unwrap();
+    spring::core::decode_reply_status(&mut reply).unwrap();
+    assert_eq!(reply.get_i64().unwrap(), 2026);
+    let _ = ScId::from_name("replicon");
+}

@@ -1,0 +1,135 @@
+//! The paper's §7 life-cycle, end to end across two simulated machines:
+//! birth at a fileserver, transmission through the name service and the
+//! network servers, invocation, copying, and death — plus §6's compatible
+//! subcontracts along the way.
+
+use std::sync::Arc;
+
+use spring::core::{ship_object, DomainCtx};
+use spring::kernel::Kernel;
+use spring::naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring::net::{NetConfig, Network};
+use spring::services::{fs, FileServer};
+use spring::subcontracts::register_standard;
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    spring::services::register_fs_types(&ctx);
+    ctx
+}
+
+#[test]
+fn file_lifecycle_across_machines() {
+    let net = Network::new(NetConfig::default());
+    let node_a = net.add_node("server-machine");
+    let node_b = net.add_node("client-machine");
+
+    let fs_ctx = ctx_on(node_a.kernel(), "fileserver");
+    let ns_ctx = ctx_on(node_a.kernel(), "name-server");
+    let client_ctx = ctx_on(node_b.kernel(), "client");
+
+    // Birth: the fileserver FS starts with internal state describing a file
+    // and creates a Spring object from it.
+    let fileserver = FileServer::new(&fs_ctx, "m");
+    fileserver.put("report", b"quarterly numbers");
+    let ns = NameServer::new(&ns_ctx);
+    let fs_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &fs_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    fs_names
+        .bind_consume("fs", fileserver.export_fs().unwrap().into_obj())
+        .unwrap();
+
+    // Transmission: the name service root crosses the network; resolving
+    // "fs" marshals the file_system object across too. Proxy doors appear
+    // on the client machine without anyone asking.
+    let client_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &client_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let fsys = fs::FileSystem::from_obj(client_names.resolve("fs", &fs::FILE_SYSTEM_TYPE).unwrap())
+        .unwrap();
+    assert!(net.stats().proxies_created >= 1);
+
+    // Invocation: stub -> subcontract -> proxy door -> network -> server
+    // subcontract -> skeleton -> servant, and all the way back.
+    let f = fsys.open("report").unwrap();
+    assert_eq!(f.read(0, 9).unwrap(), b"quarterly");
+    f.write(10, b"NUMBERS").unwrap();
+    assert_eq!(f.read(0, 17).unwrap(), b"quarterly NUMBERS");
+
+    // Reproduction: a shallow copy shares the underlying state.
+    let copy = f.copy().unwrap();
+    assert_eq!(copy.stat().unwrap().version, f.stat().unwrap().version);
+
+    // Death: consuming the client objects; the server's doors survive
+    // (the fileserver itself still holds the state).
+    copy.into_obj().consume().unwrap();
+    f.into_obj().consume().unwrap();
+}
+
+#[test]
+fn compatible_subcontracts_across_machines() {
+    // A replicated object received where a singleton-defaulted type is
+    // expected, across the network: §6.1 + §3.3 working together.
+    let net = Network::new(NetConfig::default());
+    let node_a = net.add_node("replica-machine");
+    let node_b = net.add_node("client-machine");
+
+    let replica_ctxs: Vec<Arc<DomainCtx>> = (0..2)
+        .map(|i| ctx_on(node_a.kernel(), &format!("replica-{i}")))
+        .collect();
+    let client_ctx = ctx_on(node_b.kernel(), "client");
+
+    let group = spring::services::ReplicatedFileGroup::build_with_transport(
+        &replica_ctxs,
+        b"shared",
+        net.clone(),
+    )
+    .unwrap();
+
+    // The group object's doors cross the network; the client unmarshals a
+    // replicon object while statically expecting a plain file.
+    let obj = group.object_for(&client_ctx).unwrap();
+    let as_file_obj = obj.into_obj();
+    assert_eq!(as_file_obj.subcontract().name(), "replicon");
+    let f = fs::File::from_obj(as_file_obj).unwrap();
+    assert_eq!(f.read(0, 6).unwrap(), b"shared");
+}
+
+#[test]
+fn unreferenced_notification_reaches_the_server() {
+    let kernel = Kernel::new("machine");
+    let fs_ctx = ctx_on(&kernel, "fileserver");
+    let client_ctx = ctx_on(&kernel, "client");
+
+    let fileserver = FileServer::new(&fs_ctx, "m");
+    fileserver.put("tmp", b"x");
+    let obj = fileserver.export_file("tmp").unwrap();
+    let before = kernel.stats();
+    let shipped = ship_object(
+        &spring::core::KernelTransport,
+        obj,
+        &client_ctx,
+        &fs::FILE_TYPE,
+    )
+    .unwrap();
+    shipped.consume().unwrap();
+    let delta = kernel.stats().since(&before);
+    // The last identifier died; the kernel notified the door's target (§7).
+    assert_eq!(delta.unref_notifications, 1);
+}

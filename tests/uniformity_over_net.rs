@@ -1,0 +1,184 @@
+//! The §8.5 uniform application model, across machines: the same typed
+//! client code drives singleton, simplex, cluster, replicon, and caching
+//! objects whose servers live on another node — and the one subcontract
+//! that *cannot* work across machines (shared memory) fails cleanly.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spring::buf::CommBuffer;
+use spring::core::{
+    encode_ok, op_hash, ship_object, Dispatch, DomainCtx, Result, ServerCtx, ServerSubcontract,
+    SpringError, SpringObj, TypeInfo, OBJECT_TYPE,
+};
+use spring::kernel::Kernel;
+use spring::naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
+use spring::net::{NetConfig, Network};
+use spring::subcontracts::{
+    register_standard, CacheManager, Caching, ClusterServer, ReplicaGroup, RepliconServer, Shmem,
+    Simplex, Singleton,
+};
+
+static COUNTER_TYPE: TypeInfo = TypeInfo {
+    name: "counter",
+    parents: &[&OBJECT_TYPE],
+    default_subcontract: Singleton::ID,
+};
+
+const OP_GET: u32 = op_hash("get");
+const OP_ADD: u32 = op_hash("add");
+
+#[derive(Default)]
+struct Counter {
+    value: Mutex<i64>,
+}
+
+impl Dispatch for Counter {
+    fn type_info(&self) -> &'static TypeInfo {
+        &COUNTER_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        match op {
+            x if x == OP_GET => {
+                encode_ok(reply);
+                reply.put_i64(*self.value.lock());
+                Ok(())
+            }
+            x if x == OP_ADD => {
+                let d = args.get_i64()?;
+                let mut v = self.value.lock();
+                *v += d;
+                encode_ok(reply);
+                reply.put_i64(*v);
+                Ok(())
+            }
+            other => Err(SpringError::UnknownOp(other)),
+        }
+    }
+}
+
+fn get(obj: &SpringObj) -> Result<i64> {
+    let call = obj.start_call(OP_GET)?;
+    let mut reply = obj.invoke(call)?;
+    spring::core::decode_reply_status(&mut reply)?;
+    Ok(reply.get_i64()?)
+}
+
+fn add(obj: &SpringObj, d: i64) -> Result<i64> {
+    let mut call = obj.start_call(OP_ADD)?;
+    call.put_i64(d);
+    let mut reply = obj.invoke(call)?;
+    spring::core::decode_reply_status(&mut reply)?;
+    Ok(reply.get_i64()?)
+}
+
+fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    ctx.types().register(&COUNTER_TYPE);
+    ctx
+}
+
+#[test]
+fn door_based_subcontracts_are_uniform_across_machines() {
+    let net = Network::new(NetConfig::default());
+    let server_node = net.add_node("server-machine");
+    let client_node = net.add_node("client-machine");
+    let server = ctx_on(server_node.kernel(), "server");
+    let client = ctx_on(client_node.kernel(), "client");
+
+    // The caching arm needs a client-machine cache manager behind naming.
+    let ns_ctx = ctx_on(client_node.kernel(), "naming");
+    let mgr_ctx = ctx_on(client_node.kernel(), "manager");
+    let ns = NameServer::new(&ns_ctx);
+    let manager = CacheManager::new(&mgr_ctx, [OP_GET]);
+    let mgr_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &mgr_ctx,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    mgr_names
+        .bind("cache_manager", &manager.export().unwrap())
+        .unwrap();
+    let client_names = NameClient::from_obj(
+        ship_object(
+            &*net,
+            ns.root_object().unwrap(),
+            &client,
+            &NAMING_CONTEXT_TYPE,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    client.set_resolver(Arc::new(client_names));
+
+    let cluster = ClusterServer::new(&server).unwrap();
+    let group = ReplicaGroup::with_transport(net.clone());
+    group
+        .add(RepliconServer::new(&server, Arc::new(Counter::default())).unwrap())
+        .unwrap();
+
+    let subjects: Vec<(&str, SpringObj)> = vec![
+        (
+            "singleton",
+            Singleton
+                .export(&server, Arc::new(Counter::default()))
+                .unwrap(),
+        ),
+        (
+            "simplex",
+            Simplex
+                .export(&server, Arc::new(Counter::default()))
+                .unwrap(),
+        ),
+        (
+            "cluster",
+            cluster.export(Arc::new(Counter::default())).unwrap(),
+        ),
+        ("replicon", group.object_for(&server).unwrap()),
+        (
+            "caching",
+            Caching::export(&server, Arc::new(Counter::default()), "cache_manager").unwrap(),
+        ),
+    ];
+
+    for (name, obj) in subjects {
+        let moved = ship_object(&*net, obj, &client, &COUNTER_TYPE)
+            .unwrap_or_else(|e| panic!("{name}: ship failed: {e}"));
+        assert_eq!(add(&moved, 4).unwrap(), 4, "{name}");
+        assert_eq!(get(&moved).unwrap(), 4, "{name}");
+        // The calls genuinely crossed the network.
+        assert!(net.stats().calls_forwarded > 0, "{name}");
+    }
+}
+
+#[test]
+fn shmem_across_machines_fails_cleanly() {
+    // Shared memory is a single-machine transport; a shmem object shipped
+    // to another machine must produce a clean error, not corruption. (In
+    // Spring too, shared-memory subcontracts served same-machine pairs.)
+    let net = Network::new(NetConfig::default());
+    let server_node = net.add_node("server-machine");
+    let client_node = net.add_node("client-machine");
+    let server = ctx_on(server_node.kernel(), "server");
+    let client = ctx_on(client_node.kernel(), "client");
+
+    let obj = Shmem::export(&server, Arc::new(Counter::default()), 1024).unwrap();
+    let moved = ship_object(&*net, obj, &client, &COUNTER_TYPE).unwrap();
+    match get(&moved) {
+        Err(SpringError::Door(_)) => {}
+        other => panic!("expected a clean door error, got {other:?}"),
+    }
+}
