@@ -36,6 +36,11 @@ fn bench(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Multithreaded throughput rides along after the latency arms: 1, 4,
+    // and 16 caller threads on distinct doors of one kernel, plus the
+    // contention counters and buffer-pool hit rate.
+    spring_bench::report::e1_threaded(50_000);
 }
 
 criterion_group!(benches, bench);

@@ -19,6 +19,7 @@ fn main() {
     );
 
     report::e1_null_call(iters);
+    report::e1_threaded(iters);
     report::e2_transmit(iters);
     report::e3_cluster();
     report::e4_caching();

@@ -1,8 +1,9 @@
 //! The communication buffer implementation.
 
 use std::fmt;
+use std::mem;
 
-use spring_kernel::{DoorId, MappedShm, Message};
+use spring_kernel::{pool, DoorId, MappedShm, Message};
 
 use crate::error::BufError;
 
@@ -46,8 +47,10 @@ pub struct CommBuffer {
     rpos: usize,
     /// Out-of-band door identifiers, in slot order.
     caps: Vec<DoorId>,
-    /// Tracks which capability slots have been consumed by `get_door`.
-    consumed: Vec<bool>,
+    /// Bitset (64 slots per word) of capability slots consumed by
+    /// `get_door`. Allocated lazily on first consumption, so buffers that
+    /// carry no capabilities — the common case — never touch it.
+    consumed: Vec<u64>,
 }
 
 impl Default for CommBuffer {
@@ -99,14 +102,26 @@ impl CommBuffer {
         }
     }
 
+    /// Creates an empty heap-backed buffer whose backing comes from the
+    /// per-thread buffer pool. Dropping any heap-backed buffer returns its
+    /// backing to the pool, so the marshal → send → decode → drop cycle of
+    /// a door call reuses the same allocations in steady state.
+    pub fn pooled() -> Self {
+        CommBuffer {
+            backing: Backing::Heap(pool::take(0)),
+            rpos: 0,
+            caps: Vec::new(),
+            consumed: Vec::new(),
+        }
+    }
+
     /// Wraps a received kernel message for decoding.
     pub fn from_message(msg: Message) -> Self {
-        let n = msg.doors.len();
         CommBuffer {
             backing: Backing::Heap(msg.bytes),
             rpos: 0,
             caps: msg.doors,
-            consumed: vec![false; n],
+            consumed: Vec::new(),
         }
     }
 
@@ -116,11 +131,11 @@ impl CommBuffer {
     ///
     /// Panics if the buffer was redirected to shared memory; use
     /// [`CommBuffer::take_shm`] on that path instead.
-    pub fn into_message(self) -> Message {
-        match self.backing {
+    pub fn into_message(mut self) -> Message {
+        match mem::replace(&mut self.backing, Backing::Heap(Vec::new())) {
             Backing::Heap(bytes) => Message {
                 bytes,
-                doors: self.caps,
+                doors: mem::take(&mut self.caps),
             },
             Backing::Shm(_) => panic!("shm-backed buffer cannot become a heap message"),
         }
@@ -146,25 +161,27 @@ impl CommBuffer {
     /// Detaches the shared-memory mapping, returning it together with the
     /// number of marshalled bytes and the capability vector. Dropping the
     /// returned mapping publishes the bytes to the region.
-    pub fn take_shm(self) -> Result<(MappedShm, usize, Vec<DoorId>), BufError> {
-        match self.backing {
+    pub fn take_shm(mut self) -> Result<(MappedShm, usize, Vec<DoorId>), BufError> {
+        match mem::replace(&mut self.backing, Backing::Heap(Vec::new())) {
             Backing::Shm(m) => {
                 let len = m.len();
-                Ok((m, len, self.caps))
+                Ok((m, len, mem::take(&mut self.caps)))
             }
-            Backing::Heap(_) => Err(BufError::WrongBacking),
+            Backing::Heap(v) => {
+                self.backing = Backing::Heap(v);
+                Err(BufError::WrongBacking)
+            }
         }
     }
 
     /// Builds a decoding buffer over a mapped shared-memory region, with
     /// capabilities delivered out-of-band by the kernel message.
     pub fn from_shm(mapped: MappedShm, caps: Vec<DoorId>) -> Self {
-        let n = caps.len();
         CommBuffer {
             backing: Backing::Shm(mapped),
             rpos: 0,
             caps,
-            consumed: vec![false; n],
+            consumed: Vec::new(),
         }
     }
 
@@ -344,8 +361,21 @@ impl CommBuffer {
     pub fn put_door(&mut self, id: DoorId) {
         let slot = self.caps.len() as u32;
         self.caps.push(id);
-        self.consumed.push(false);
         self.put_u32(slot);
+    }
+
+    fn is_consumed(&self, idx: usize) -> bool {
+        self.consumed
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
+    fn mark_consumed(&mut self, idx: usize) {
+        let word = idx / 64;
+        if self.consumed.len() <= word {
+            self.consumed.resize(word + 1, 0);
+        }
+        self.consumed[word] |= 1u64 << (idx % 64);
     }
 
     /// Reads a door slot index and takes the identifier from the capability
@@ -353,10 +383,10 @@ impl CommBuffer {
     pub fn get_door(&mut self) -> Result<DoorId, BufError> {
         let slot = self.get_u32()?;
         let idx = slot as usize;
-        if idx >= self.caps.len() || self.consumed[idx] {
+        if idx >= self.caps.len() || self.is_consumed(idx) {
             return Err(BufError::InvalidDoorSlot(slot));
         }
-        self.consumed[idx] = true;
+        self.mark_consumed(idx);
         Ok(self.caps[idx])
     }
 
@@ -398,10 +428,10 @@ impl CommBuffer {
     /// paths that must not leak capabilities.
     pub fn drain_doors(&mut self) -> Vec<DoorId> {
         let mut out = Vec::new();
-        for (i, cap) in self.caps.iter().enumerate() {
-            if !self.consumed[i] {
-                self.consumed[i] = true;
-                out.push(*cap);
+        for i in 0..self.caps.len() {
+            if !self.is_consumed(i) {
+                self.mark_consumed(i);
+                out.push(self.caps[i]);
             }
         }
         out
@@ -410,6 +440,17 @@ impl CommBuffer {
     /// Current read offset in bytes (diagnostics).
     pub fn read_pos(&self) -> usize {
         self.rpos
+    }
+}
+
+impl Drop for CommBuffer {
+    fn drop(&mut self) {
+        // Return the heap backing to the per-thread pool. `into_message` and
+        // `take_shm` leave an empty (capacity 0) vector behind, which the
+        // pool ignores.
+        if let Backing::Heap(v) = mem::replace(&mut self.backing, Backing::Heap(Vec::new())) {
+            pool::give(v);
+        }
     }
 }
 
@@ -532,6 +573,20 @@ mod tests {
             r.get_seq_len(4).unwrap_err(),
             BufError::LengthOverrun { .. }
         ));
+    }
+
+    #[test]
+    fn dropped_buffer_backing_returns_to_pool() {
+        // Seed this thread's pool by dropping a buffer with real capacity…
+        let mut b = CommBuffer::with_capacity(64);
+        b.put_u64(1);
+        drop(b);
+        // …then a pooled buffer on the same thread must score a hit.
+        let (h0, _) = pool::counters();
+        let p = CommBuffer::pooled();
+        let (h1, _) = pool::counters();
+        assert!(h1 > h0);
+        drop(p);
     }
 
     #[test]

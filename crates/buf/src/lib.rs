@@ -38,3 +38,6 @@ mod error;
 
 pub use buffer::CommBuffer;
 pub use error::BufError;
+/// Re-export of the kernel's buffer pool ([`CommBuffer::pooled`] draws from
+/// it, and dropped heap-backed buffers return to it).
+pub use spring_kernel::pool;

@@ -164,7 +164,7 @@ impl SpringObj {
     /// The stubs marshal arguments into the returned buffer and pass it to
     /// [`SpringObj::invoke`].
     pub fn start_call(&self, op: u32) -> Result<CommBuffer> {
-        let mut buf = CommBuffer::new();
+        let mut buf = CommBuffer::pooled();
         let inner = self.inner();
         inner.sc.invoke_preamble(self, &mut buf)?;
         buf.put_u32(op);

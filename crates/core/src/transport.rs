@@ -70,7 +70,7 @@ pub fn ship_object(
     expected: &'static TypeInfo,
 ) -> Result<SpringObj> {
     let from = obj.ctx().domain().clone();
-    let mut buf = CommBuffer::new();
+    let mut buf = CommBuffer::pooled();
     obj.marshal(&mut buf)?;
     let arrived = transport.ship(&from, to.domain(), buf.into_message())?;
     let mut buf = CommBuffer::from_message(arrived);
@@ -85,7 +85,7 @@ pub fn ship_object_copy(
     expected: &'static TypeInfo,
 ) -> Result<SpringObj> {
     let from = obj.ctx().domain().clone();
-    let mut buf = CommBuffer::new();
+    let mut buf = CommBuffer::pooled();
     obj.marshal_copy(&mut buf)?;
     let arrived = transport.ship(&from, to.domain(), buf.into_message())?;
     let mut buf = CommBuffer::from_message(arrived);

@@ -56,6 +56,7 @@ mod error;
 mod id;
 mod kernel;
 mod message;
+pub mod pool;
 mod shm;
 mod stats;
 

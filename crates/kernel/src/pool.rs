@@ -1,0 +1,120 @@
+//! Thread-local pool of heap buffer backings for the door-call fast path.
+//!
+//! Every door call copies its payload across the simulated address-space
+//! boundary (the paper's mandatory cross-domain copy). Without pooling, each
+//! call allocates a fresh `Vec<u8>` for the copy and frees the source, so a
+//! steady stream of calls churns the allocator. The pool keeps a small
+//! per-thread free list of byte vectors: the kernel's translate step takes
+//! its copy target from the pool and donates the consumed source backing
+//! back, and `spring-buf`'s `CommBuffer` does the same for marshalling
+//! buffers. In steady state a null call performs zero payload allocations.
+//!
+//! The free list is thread-local, so `take`/`give` never contend on a lock.
+//! Hit/miss counters are process-wide atomics; `KernelStats::snapshot`
+//! surfaces them (every kernel in the process reports the same pool
+//! numbers — the pool is per-thread, not per-kernel).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum number of backings retained per thread.
+const MAX_POOLED: usize = 32;
+
+/// Backings larger than this are dropped rather than retained, so one huge
+/// payload does not pin a megabyte per thread forever.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static FREE: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes an empty byte vector with at least `min_capacity` spare capacity,
+/// reusing a pooled backing when one is large enough.
+pub fn take(min_capacity: usize) -> Vec<u8> {
+    let reused = FREE.with(|free| {
+        let mut free = free.borrow_mut();
+        // Best fit: the smallest adequate backing. Taking any adequate one
+        // lets a tiny request steal a large backing and starve the next
+        // large request into a miss.
+        let (idx, _) = free
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.capacity() >= min_capacity)
+            .min_by_key(|(_, v)| v.capacity())?;
+        Some(free.swap_remove(idx))
+    });
+    match reused {
+        Some(v) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(v.is_empty());
+            v
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(min_capacity)
+        }
+    }
+}
+
+/// Returns a no-longer-needed byte vector to the current thread's pool.
+///
+/// Zero-capacity vectors (nothing to reuse) and oversized ones are dropped.
+pub fn give(mut v: Vec<u8>) {
+    if v.capacity() == 0 || v.capacity() > MAX_RETAINED_CAPACITY {
+        return;
+    }
+    v.clear();
+    FREE.with(|free| {
+        let mut free = free.borrow_mut();
+        if free.len() < MAX_POOLED {
+            free.push(v);
+        }
+    });
+}
+
+/// Process-wide `(hits, misses)` counts since start.
+pub fn counters() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_round_trip() {
+        // Prime the pool, then verify the same backing comes back.
+        give(Vec::with_capacity(128));
+        let (h0, _) = counters();
+        let v = take(64);
+        assert!(v.capacity() >= 64);
+        let (h1, _) = counters();
+        assert_eq!(h1, h0 + 1);
+    }
+
+    #[test]
+    fn small_requests_do_not_steal_nothing() {
+        let (_, m0) = counters();
+        // An empty pool (or no large-enough backing) is a miss.
+        let v = take(MAX_RETAINED_CAPACITY + 1);
+        assert!(v.capacity() > MAX_RETAINED_CAPACITY);
+        let (_, m1) = counters();
+        assert_eq!(m1, m0 + 1);
+        // Oversized backings are not retained.
+        give(v);
+        let w = take(MAX_RETAINED_CAPACITY + 1);
+        let (_, m2) = counters();
+        assert_eq!(m2, m1 + 1);
+        drop(w);
+    }
+
+    #[test]
+    fn give_clears_contents() {
+        give(vec![1, 2, 3]);
+        let v = take(1);
+        assert!(v.is_empty());
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::pool;
+
 /// Monotonic counters maintained by one [`crate::Kernel`].
 ///
 /// The benchmark harness reports these alongside wall-clock timings because
@@ -18,6 +20,8 @@ pub struct KernelStats {
     pub(crate) ids_transferred: AtomicU64,
     pub(crate) unref_notifications: AtomicU64,
     pub(crate) revocations: AtomicU64,
+    pub(crate) table_lock_waits: AtomicU64,
+    pub(crate) shard_lock_waits: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`KernelStats`].
@@ -39,11 +43,21 @@ pub struct StatsSnapshot {
     pub unref_notifications: u64,
     /// Doors revoked (explicitly or by domain crash).
     pub revocations: u64,
+    /// Times a domain door-table lock was contended (blocked on acquire).
+    pub table_lock_waits: u64,
+    /// Times a door-shard lock was contended (blocked on acquire).
+    pub shard_lock_waits: u64,
+    /// Buffer-pool hits (process-wide; the pool is per-thread, not
+    /// per-kernel, so every kernel reports the same numbers).
+    pub pool_hits: u64,
+    /// Buffer-pool misses (process-wide, see `pool_hits`).
+    pub pool_misses: u64,
 }
 
 impl KernelStats {
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let (pool_hits, pool_misses) = pool::counters();
         StatsSnapshot {
             doors_created: self.doors_created.load(Ordering::Relaxed),
             door_calls: self.door_calls.load(Ordering::Relaxed),
@@ -53,6 +67,10 @@ impl KernelStats {
             ids_transferred: self.ids_transferred.load(Ordering::Relaxed),
             unref_notifications: self.unref_notifications.load(Ordering::Relaxed),
             revocations: self.revocations.load(Ordering::Relaxed),
+            table_lock_waits: self.table_lock_waits.load(Ordering::Relaxed),
+            shard_lock_waits: self.shard_lock_waits.load(Ordering::Relaxed),
+            pool_hits,
+            pool_misses,
         }
     }
 }
@@ -71,6 +89,14 @@ impl StatsSnapshot {
                 .unref_notifications
                 .saturating_sub(earlier.unref_notifications),
             revocations: self.revocations.saturating_sub(earlier.revocations),
+            table_lock_waits: self
+                .table_lock_waits
+                .saturating_sub(earlier.table_lock_waits),
+            shard_lock_waits: self
+                .shard_lock_waits
+                .saturating_sub(earlier.shard_lock_waits),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
         }
     }
 }
@@ -92,5 +118,7 @@ mod tests {
         assert_eq!(d.door_calls, 2);
         assert_eq!(d.bytes_copied, 10);
         assert_eq!(d.doors_created, 0);
+        assert_eq!(d.table_lock_waits, 0);
+        assert_eq!(d.shard_lock_waits, 0);
     }
 }

@@ -26,6 +26,7 @@
 
 mod config;
 mod network;
+mod rng;
 mod server;
 
 pub use config::{NetConfig, NetStatsSnapshot};

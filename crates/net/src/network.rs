@@ -5,18 +5,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use spring_kernel::{Domain, DoorError, Kernel, Message, NodeId};
 
 use crate::config::{NetConfig, NetStatsSnapshot};
+use crate::rng::FaultRng;
 use crate::server::{NetServer, WireCap};
 
 pub(crate) struct NetworkInner {
     nodes: RwLock<HashMap<u64, Arc<NetServer>>>,
-    config: RwLock<NetConfig>,
+    /// Behaviour knobs, shared by `Arc` so a hop clones a pointer instead of
+    /// copying the config struct under the lock.
+    config: RwLock<Arc<NetConfig>>,
     partitions: RwLock<HashSet<(u64, u64)>>,
-    rng: Mutex<StdRng>,
+    rng: Mutex<FaultRng>,
     messages: AtomicU64,
     bytes: AtomicU64,
     drops: AtomicU64,
@@ -54,21 +55,27 @@ impl NetworkInner {
 
     /// One network hop: latency, jitter, accounting, and (for invocation
     /// traffic) probabilistic loss.
+    ///
+    /// The RNG mutex is taken at most once per hop — the loss roll and the
+    /// jitter fraction are sampled together — and on a fault-free network
+    /// (no loss, no jitter) it is not taken at all.
     fn hop(&self, bytes: usize, lossy: bool) -> Result<(), DoorError> {
-        let cfg = *self.config.read();
+        let cfg = Arc::clone(&self.config.read());
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        if lossy && cfg.drop_prob > 0.0 {
-            let roll: f64 = self.rng.lock().gen();
-            if roll < cfg.drop_prob {
+        let roll_loss = lossy && cfg.drop_prob > 0.0;
+        let roll_jitter = !cfg.jitter.is_zero();
+        let mut delay = cfg.latency;
+        if roll_loss || roll_jitter {
+            let mut rng = self.rng.lock();
+            if roll_loss && rng.unit_f64() < cfg.drop_prob {
+                drop(rng);
                 self.drops.fetch_add(1, Ordering::Relaxed);
                 return Err(DoorError::Comm("message lost".into()));
             }
-        }
-        let mut delay = cfg.latency;
-        if !cfg.jitter.is_zero() {
-            let extra = self.rng.lock().gen_range(0.0..1.0);
-            delay += cfg.jitter.mul_f64(extra);
+            if roll_jitter {
+                delay += cfg.jitter.mul_f64(rng.unit_f64());
+            }
         }
         if !delay.is_zero() {
             std::thread::sleep(delay);
@@ -143,9 +150,9 @@ impl Network {
         Arc::new(Network {
             inner: Arc::new(NetworkInner {
                 nodes: RwLock::new(HashMap::new()),
-                config: RwLock::new(config),
+                config: RwLock::new(Arc::new(config)),
                 partitions: RwLock::new(HashSet::new()),
-                rng: Mutex::new(StdRng::seed_from_u64(0x5u64)),
+                rng: Mutex::new(FaultRng::seed_from_u64(0x5u64)),
                 messages: AtomicU64::new(0),
                 bytes: AtomicU64::new(0),
                 drops: AtomicU64::new(0),
@@ -170,12 +177,12 @@ impl Network {
 
     /// Replaces the network behaviour (latency, jitter, loss).
     pub fn set_config(&self, config: NetConfig) {
-        *self.inner.config.write() = config;
+        *self.inner.config.write() = Arc::new(config);
     }
 
     /// Reseeds the loss/jitter RNG (determinism for tests).
     pub fn reseed(&self, seed: u64) {
-        *self.inner.rng.lock() = StdRng::seed_from_u64(seed);
+        *self.inner.rng.lock() = FaultRng::seed_from_u64(seed);
     }
 
     /// Cuts the link between two nodes in both directions.

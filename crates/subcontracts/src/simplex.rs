@@ -136,7 +136,7 @@ impl DoorHandler for SimplexHandler {
         let _flags = args
             .get_u8()
             .map_err(|e| spring_kernel::DoorError::Handler(format!("bad control region: {e}")))?;
-        let mut reply = CommBuffer::new();
+        let mut reply = CommBuffer::pooled();
         reply.put_u8(CTRL_NORMAL);
         let sctx = ServerCtx {
             ctx: self.ctx.clone(),
@@ -188,7 +188,7 @@ impl Subcontract for Simplex {
                 // read cursor sits at the control byte.
                 let mut args = call;
                 let _flags = args.get_u8()?;
-                let mut reply = CommBuffer::new();
+                let mut reply = CommBuffer::pooled();
                 reply.put_u8(CTRL_NORMAL);
                 let sctx = ServerCtx {
                     ctx: obj.ctx().clone(),

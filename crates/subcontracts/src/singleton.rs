@@ -70,7 +70,7 @@ impl DoorHandler for SingletonHandler {
         msg: Message,
     ) -> std::result::Result<Message, spring_kernel::DoorError> {
         let mut args = CommBuffer::from_message(msg);
-        let mut reply = CommBuffer::new();
+        let mut reply = CommBuffer::pooled();
         let sctx = ServerCtx {
             ctx: self.ctx.clone(),
             caller: cctx.caller,

@@ -1,0 +1,86 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for collection strategies, mirroring proptest's
+/// `SizeRange`: a bare `usize` means exactly that many elements.
+pub struct SizeRange {
+    start: usize,
+    end_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end_excl: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            start: r.start,
+            end_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            start: *r.start(),
+            end_excl: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing vectors whose length is drawn from `range`.
+pub struct VecStrategy<S> {
+    elem: S,
+    range: SizeRange,
+}
+
+/// Builds a strategy for `Vec`s of `elem` with length in `range`.
+pub fn vec<S: Strategy>(elem: S, range: impl Into<SizeRange>) -> VecStrategy<S> {
+    let range = range.into();
+    assert!(range.start < range.end_excl, "empty length range");
+    VecStrategy { elem, range }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.range.start, self.range.end_excl);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_in_range() {
+        let mut rng = TestRng::from_seed(9);
+        let s = vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_length() {
+        let mut rng = TestRng::from_seed(3);
+        let s = vec(any::<u8>(), 8usize);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut rng).len(), 8);
+        }
+    }
+}

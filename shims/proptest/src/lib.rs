@@ -1,0 +1,148 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim implements the
+//! subset of proptest's API the test suites use: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `boxed`, `any::<T>()` for primitives,
+//! integer-range and simple regex-pattern strategies, tuple and
+//! `collection::vec` composition, `Just`, `prop_oneof!`, and the
+//! `proptest!` test macro with `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! case number and seed, and cases are fully deterministic (seeded from the
+//! test name and case index), so failures reproduce exactly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Runs one `proptest!`-style test body over `cases` sampled inputs.
+///
+/// This is the runtime behind the [`proptest!`] macro; it exists as a
+/// function so the macro expansion stays small.
+pub fn run_cases<F>(test_name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut TestRng, u32) -> Result<(), TestCaseError>,
+{
+    for case in 0..cases {
+        let seed = test_runner::seed_for(test_name, case);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = body(&mut rng, case) {
+            panic!("proptest case {case}/{cases} of `{test_name}` failed (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+/// Expands to a set of `#[test]` functions that sample their arguments from
+/// strategies, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must precede the catch-all below.
+    (@tests ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.cases,
+                    |rng, _case| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                        let mut run = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        };
+                        run()
+                    },
+                );
+            }
+        )*
+    };
+    // With an inner config attribute.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    // Without a config attribute.
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type, mirroring
+/// `proptest::prop_oneof!`. Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l != r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}

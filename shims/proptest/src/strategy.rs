@@ -1,0 +1,409 @@
+//! The [`Strategy`] trait and the combinators the test suites use.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for sampling test inputs, mirroring `proptest::strategy::Strategy`.
+///
+/// The shim has no shrinking, so a strategy is simply a sampler.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects sampled values failing `pred`, resampling (bounded retries).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Blanket impl so `&strategy` also works as a strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy mapping combinator (`prop_map`).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy filtering combinator (`prop_filter`).
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.usize_in(0, self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Values with a canonical "arbitrary" sampling, backing [`any`].
+pub trait Arbitrary {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })*
+    };
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Full bit patterns: exercises infinities, NaNs, subnormals.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{fffd}')
+    }
+}
+
+/// Strategy for [`Arbitrary`] values, mirroring `proptest::prelude::any`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Builds the canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        })*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        })*
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// What one repetition unit of a simplified pattern generates.
+enum CharClass {
+    /// `.` — printable ASCII plus a sprinkling of multibyte characters.
+    AnyPrintable,
+    /// `[a-z]`-style inclusive range.
+    Span(char, char),
+}
+
+/// A simplified regex-pattern strategy supporting the shapes used in the
+/// test suites: `.` or a single `[x-y]` class, with an optional `{m,n}`
+/// (or `{m}`) repetition. Anything else samples as the literal pattern.
+pub struct PatternStrategy {
+    class: Option<CharClass>,
+    min: usize,
+    max: usize,
+    literal: &'static str,
+}
+
+fn parse_pattern(pat: &'static str) -> PatternStrategy {
+    let fallback = PatternStrategy {
+        class: None,
+        min: 0,
+        max: 0,
+        literal: pat,
+    };
+    let bytes = pat.as_bytes();
+    if bytes.is_empty() {
+        return fallback;
+    }
+    let (class, rest) = if bytes[0] == b'.' {
+        (CharClass::AnyPrintable, &pat[1..])
+    } else if bytes[0] == b'[' {
+        let Some(close) = pat.find(']') else {
+            return fallback;
+        };
+        let inner = &pat[1..close];
+        let chars: Vec<char> = inner.chars().collect();
+        // Only `[x-y]` single ranges are recognized.
+        if chars.len() == 3 && chars[1] == '-' && chars[0] <= chars[2] {
+            (CharClass::Span(chars[0], chars[2]), &pat[close + 1..])
+        } else {
+            return fallback;
+        }
+    } else {
+        return fallback;
+    };
+    let (min, max) = if rest.is_empty() {
+        (1, 1)
+    } else if rest.starts_with('{') && rest.ends_with('}') {
+        let body = &rest[1..rest.len() - 1];
+        match body.split_once(',') {
+            Some((lo, hi)) => match (lo.trim().parse(), hi.trim().parse()) {
+                (Ok(lo), Ok(hi)) if lo <= hi => (lo, hi),
+                _ => return fallback,
+            },
+            None => match body.trim().parse() {
+                Ok(n) => (n, n),
+                Err(_) => return fallback,
+            },
+        }
+    } else {
+        return fallback;
+    };
+    PatternStrategy {
+        class: Some(class),
+        min,
+        max,
+        literal: pat,
+    }
+}
+
+/// Occasional multibyte characters so `.`-patterns exercise UTF-8 handling.
+const EXOTIC: &[char] = &['é', 'λ', 'ß', '中', '🦀', '\u{2028}'];
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let parsed = parse_pattern(self);
+        let Some(class) = parsed.class else {
+            return parsed.literal.to_owned();
+        };
+        let len = rng.usize_in(parsed.min, parsed.max + 1);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match class {
+                CharClass::AnyPrintable => {
+                    if rng.below(8) == 0 {
+                        EXOTIC[rng.usize_in(0, EXOTIC.len())]
+                    } else {
+                        (0x20u8 + rng.below(0x5f) as u8) as char
+                    }
+                }
+                CharClass::Span(lo, hi) => {
+                    char::from_u32(lo as u32 + rng.below((hi as u32 - lo as u32 + 1) as u64) as u32)
+                        .unwrap_or(lo)
+                }
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pattern_lengths_respected() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".sample(&mut rng);
+            let n = s.chars().count();
+            assert!((1..=6).contains(&n), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..200 {
+            let s = ".{0,40}".sample(&mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn union_samples_all_options() {
+        let mut rng = TestRng::from_seed(3);
+        let u = Union::new(vec![Just(1).boxed(), Just(2).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[u.sample(&mut rng)] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::from_seed(4);
+        let s = (0usize..10).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = TestRng::from_seed(5);
+        let s = (1usize..2).prop_map(|v| v * 10);
+        assert_eq!(s.sample(&mut rng), 10);
+    }
+}
