@@ -1,38 +1,99 @@
 //! `report` — regenerates every evaluation table of the paper.
 //!
-//! Usage: `cargo run --release -p spring-bench --bin report [--quick]`
+//! Usage: `cargo run --release -p spring-bench --bin report [--quick]
+//! [--smoke] [--trace] [--json-dir DIR]`
 //!
 //! One section per experiment from DESIGN.md §4 (E1–E12). Timings are
 //! machine-dependent; the accompanying counters (doors created, messages
 //! sent, bytes copied) are not, and EXPERIMENTS.md records both.
+//!
+//! Flags:
+//!
+//! * `--quick` — fewer iterations per timed loop (local sanity runs).
+//! * `--smoke` — E1/E1t only, with tiny iteration counts; the CI
+//!   per-push mode whose sole purpose is producing `BENCH_e1.json` /
+//!   `BENCH_e1t.json` and proving the harness still runs.
+//! * `--trace` — enable distributed tracing for the run, so the JSON
+//!   output carries per-subcontract latency histograms (slower; not the
+//!   configuration EXPERIMENTS.md records).
+//! * `--json-dir DIR` — write the machine-readable results of E1 and E1t
+//!   to `DIR/BENCH_e1.json` and `DIR/BENCH_e1t.json`.
 
 use spring_bench::report;
+use spring_trace::json::Json;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let iters: u64 = if quick { 2_000 } else { 50_000 };
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace = args.iter().any(|a| a == "--trace");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let iters: u64 = if smoke {
+        500
+    } else if quick {
+        2_000
+    } else {
+        50_000
+    };
+
+    if trace {
+        spring_trace::set_enabled(true);
+    }
 
     println!("Subcontract evaluation reproduction (paper: Hamilton/Powell/Mitchell, SOSP 1993)");
     println!(
         "iterations per timed loop: {iters}{}",
-        if quick { " (quick mode)" } else { "" }
+        if smoke {
+            " (smoke mode)"
+        } else if quick {
+            " (quick mode)"
+        } else {
+            ""
+        }
     );
 
-    report::e1_null_call(iters);
-    report::e1_threaded(iters);
-    report::e2_transmit(iters);
-    report::e3_cluster();
-    report::e4_caching();
-    report::e4b_unmarshal_overhead(iters);
-    report::e5_replicon(iters);
-    report::e6_reconnect();
-    report::e7_marshal_copy(iters);
-    report::e8_shmem(if quick { 200 } else { 2_000 });
-    report::e9_discovery(iters);
-    report::e11_compat(iters);
-    report::e12_local(iters);
-    report::e13_stream(if quick { 500 } else { 10_000 });
+    let e1 = report::e1_null_call(iters);
+    let e1t = report::e1_threaded(if smoke { 200 } else { iters });
+
+    if !smoke {
+        report::e2_transmit(iters);
+        report::e3_cluster();
+        report::e4_caching();
+        report::e4b_unmarshal_overhead(iters);
+        report::e5_replicon(iters);
+        report::e6_reconnect();
+        report::e7_marshal_copy(iters);
+        report::e8_shmem(if quick { 200 } else { 2_000 });
+        report::e9_discovery(iters);
+        report::e11_compat(iters);
+        report::e12_local(iters);
+        report::e13_stream(if quick { 500 } else { 10_000 });
+    }
+
+    if let Some(dir) = json_dir {
+        write_json(&dir, "BENCH_e1.json", &e1);
+        write_json(&dir, "BENCH_e1t.json", &e1t);
+    }
 
     println!();
     println!("done.");
+}
+
+fn write_json(dir: &str, name: &str, value: &Json) {
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, value.pretty()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
 }

@@ -22,6 +22,7 @@ use subcontract::{
 };
 
 use spring_subcontracts::stream::{FrameOutcome, Stream};
+use spring_trace::json::Json;
 
 use crate::fixtures::{ctx_on, echo, ping, FusedPing, PingServant, RawDoor, PINGER_TYPE};
 use crate::timing::{fmt_ns, ns_per_iter, time_once};
@@ -37,9 +38,15 @@ fn header(title: &str) {
 
 /// E1 + E10 — §9.3: the cost a subcontract adds to a minimal remote call,
 /// and §9.1's specialized-stub escape hatch.
-pub fn e1_null_call(iters: u64) {
+///
+/// Returns the measurements as a [`Json`] record; the `report` binary
+/// writes it to `BENCH_e1.json` when `--json-dir` is given, and CI archives
+/// that file as a per-push artifact.
+pub fn e1_null_call(iters: u64) -> Json {
     header("E1/E10: minimal cross-domain call (paper §9.3, §9.1)");
     let kernel = Kernel::new("e1");
+    spring_kernel::pool::reset_counters();
+    let before = kernel.stats();
 
     let raw = RawDoor::new(&kernel);
     let raw_ns = ns_per_iter(iters, || raw.call().unwrap());
@@ -57,6 +64,8 @@ pub fn e1_null_call(iters: u64) {
     let obj = Simplex.export(&server, servant()).unwrap();
     let simplex_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
     let simplex_ns = ns_per_iter(iters, || ping(&simplex_obj).unwrap());
+
+    let delta = kernel.stats().since(&before);
 
     println!(
         "{:<34} {:>12} {:>24}",
@@ -96,6 +105,64 @@ pub fn e1_null_call(iters: u64) {
         fmt_ns(simplex_ns - fused_ns),
         fmt_ns(simplex_ns - raw_ns)
     );
+
+    let arm = |name: &str, ns: f64, extra_calls: u64| {
+        Json::obj([
+            ("name", Json::from(name)),
+            ("ns_per_call", Json::from(ns)),
+            ("extra_indirect_calls", Json::from(extra_calls)),
+        ])
+    };
+    Json::obj([
+        ("experiment", Json::from("e1_null_call")),
+        ("paper_sections", Json::from("9.3, 9.1")),
+        ("iters", Json::from(iters)),
+        (
+            "arms",
+            Json::Arr(vec![
+                arm("raw_door", raw_ns, 0),
+                arm("fused_stubs", fused_ns, 0),
+                arm("singleton", singleton_ns, 3),
+                arm("simplex", simplex_ns, 4),
+            ]),
+        ),
+        (
+            "overhead_ns",
+            Json::obj([
+                ("singleton_vs_raw", Json::from(singleton_ns - raw_ns)),
+                ("simplex_vs_raw", Json::from(simplex_ns - raw_ns)),
+                ("simplex_vs_fused", Json::from(simplex_ns - fused_ns)),
+            ]),
+        ),
+        ("kernel_counters", kernel_counters_json(&delta)),
+        ("tracing", tracing_json()),
+    ])
+}
+
+/// The hardware-independent kernel counters of a run, as a JSON object.
+fn kernel_counters_json(delta: &spring_kernel::StatsSnapshot) -> Json {
+    Json::obj([
+        ("door_calls", Json::from(delta.door_calls)),
+        ("doors_created", Json::from(delta.doors_created)),
+        ("bytes_copied", Json::from(delta.bytes_copied)),
+        ("table_lock_waits", Json::from(delta.table_lock_waits)),
+        ("shard_lock_waits", Json::from(delta.shard_lock_waits)),
+        ("pool_hits", Json::from(delta.pool_hits)),
+        ("pool_misses", Json::from(delta.pool_misses)),
+    ])
+}
+
+/// Tracing state plus, when enabled, the per-subcontract latency
+/// histograms recorded during the run.
+fn tracing_json() -> Json {
+    if spring_trace::enabled() {
+        Json::obj([
+            ("enabled", Json::from(true)),
+            ("histograms", spring_trace::histograms_json()),
+        ])
+    } else {
+        Json::obj([("enabled", Json::from(false))])
+    }
 }
 
 /// E1t — concurrent null-call throughput: one raw door per caller thread,
@@ -104,13 +171,15 @@ pub fn e1_null_call(iters: u64) {
 /// scale with cores (the contention counters show residual lock traffic —
 /// on a single-core host the aggregate cannot exceed the 1-thread rate,
 /// but the wait counts still demonstrate lock independence).
-pub fn e1_threaded(iters: u64) {
+pub fn e1_threaded(iters: u64) -> Json {
     header("E1t: concurrent null-call throughput (sharded nucleus)");
     println!(
         "{:<8} {:>16} {:>12} {:>12} {:>12} {:>14}",
         "threads", "calls/s (agg)", "ns/call", "table waits", "shard waits", "pool hit rate"
     );
+    let mut rows = Vec::new();
     let mut single_rate = 0.0f64;
+    let mut last_rate = 0.0f64;
     for &threads in &[1usize, 4, 16] {
         let kernel = Kernel::new(format!("e1t-{threads}"));
         // The fused ping is the minimal *payload-carrying* null call (an
@@ -158,6 +227,20 @@ pub fn e1_threaded(iters: u64) {
             after.shard_lock_waits,
             hit_rate
         );
+        rows.push(Json::obj([
+            ("threads", Json::from(threads)),
+            ("calls_per_sec", Json::from(rate)),
+            (
+                "ns_per_call",
+                Json::from(elapsed.as_nanos() as f64 / total as f64),
+            ),
+            ("table_lock_waits", Json::from(after.table_lock_waits)),
+            ("shard_lock_waits", Json::from(after.shard_lock_waits)),
+            ("pool_hits", Json::from(after.pool_hits)),
+            ("pool_misses", Json::from(after.pool_misses)),
+            ("pool_hit_rate_pct", Json::from(hit_rate)),
+        ]));
+        last_rate = rate;
         if threads == 16 && single_rate > 0.0 {
             println!(
                 "16-thread aggregate = {:.2}x the 1-thread rate ({} hardware threads available)",
@@ -166,6 +249,22 @@ pub fn e1_threaded(iters: u64) {
             );
         }
     }
+    let scaling = if single_rate > 0.0 {
+        Json::from(last_rate / single_rate)
+    } else {
+        Json::Null
+    };
+    Json::obj([
+        ("experiment", Json::from("e1_threaded")),
+        ("iters_per_thread", Json::from(iters)),
+        (
+            "hardware_threads",
+            Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+        ),
+        ("rows", Json::Arr(rows)),
+        ("scaling_16_vs_1", scaling),
+        ("tracing", tracing_json()),
+    ])
 }
 
 /// E2 — §9.3: the cost of transmitting an object (marshal + unmarshal +

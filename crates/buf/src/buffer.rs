@@ -4,6 +4,7 @@ use std::fmt;
 use std::mem;
 
 use spring_kernel::{pool, DoorId, MappedShm, Message};
+use spring_trace::TraceCtx;
 
 use crate::error::BufError;
 
@@ -51,6 +52,11 @@ pub struct CommBuffer {
     /// `get_door`. Allocated lazily on first consumption, so buffers that
     /// carry no capabilities — the common case — never touch it.
     consumed: Vec<u64>,
+    /// Trace context riding the envelope: captured from the incoming
+    /// [`Message`] by [`CommBuffer::from_message`] and re-emitted by
+    /// [`CommBuffer::into_message`], so decode → re-marshal paths (the
+    /// network proxies) keep the trace connected without payload changes.
+    trace: TraceCtx,
 }
 
 impl Default for CommBuffer {
@@ -89,6 +95,7 @@ impl CommBuffer {
             rpos: 0,
             caps: Vec::new(),
             consumed: Vec::new(),
+            trace: TraceCtx::NONE,
         }
     }
 
@@ -99,6 +106,7 @@ impl CommBuffer {
             rpos: 0,
             caps: Vec::new(),
             consumed: Vec::new(),
+            trace: TraceCtx::NONE,
         }
     }
 
@@ -112,6 +120,7 @@ impl CommBuffer {
             rpos: 0,
             caps: Vec::new(),
             consumed: Vec::new(),
+            trace: TraceCtx::NONE,
         }
     }
 
@@ -122,6 +131,7 @@ impl CommBuffer {
             rpos: 0,
             caps: msg.doors,
             consumed: Vec::new(),
+            trace: msg.trace,
         }
     }
 
@@ -136,6 +146,7 @@ impl CommBuffer {
             Backing::Heap(bytes) => Message {
                 bytes,
                 doors: mem::take(&mut self.caps),
+                trace: self.trace,
             },
             Backing::Shm(_) => panic!("shm-backed buffer cannot become a heap message"),
         }
@@ -182,7 +193,19 @@ impl CommBuffer {
             rpos: 0,
             caps,
             consumed: Vec::new(),
+            trace: TraceCtx::NONE,
         }
+    }
+
+    /// The envelope trace context this buffer carries.
+    pub fn trace(&self) -> TraceCtx {
+        self.trace
+    }
+
+    /// Sets the envelope trace context emitted by
+    /// [`CommBuffer::into_message`].
+    pub fn set_trace(&mut self, trace: TraceCtx) {
+        self.trace = trace;
     }
 
     /// Returns true when the backing store is a shared-memory mapping.

@@ -173,44 +173,95 @@ impl SpringObj {
 
     /// Executes the call through the subcontract's `invoke` operation,
     /// returning the result buffer positioned for unmarshalling results.
+    ///
+    /// This and the other subcontract chokepoints below each record one
+    /// latency sample keyed by `(subcontract id, operation)` when tracing is
+    /// enabled — the per-subcontract histograms every mechanism shares.
     pub fn invoke(&self, call: CommBuffer) -> Result<CommBuffer> {
         let inner = self.inner();
-        inner.sc.invoke(self, call)
+        let mut span = spring_trace::span_start(
+            "invoke",
+            inner.ctx.domain().trace_scope(),
+            inner.sc.id().raw(),
+        );
+        let result = inner.sc.invoke(self, call);
+        if result.is_err() {
+            span.fail();
+        }
+        result
     }
 
     /// Transmits the object into `buf`, consuming it (§5.1.1).
     pub fn marshal(mut self, buf: &mut CommBuffer) -> Result<()> {
         let inner = self.inner.take().expect("object already consumed");
+        let mut span = spring_trace::span_start(
+            "marshal",
+            inner.ctx.domain().trace_scope(),
+            inner.sc.id().raw(),
+        );
         let parts = ObjParts {
             type_info: inner.type_info,
             type_name: inner.type_name,
             repr: inner.repr,
         };
-        inner.sc.marshal(&inner.ctx, parts, buf)
+        let result = inner.sc.marshal(&inner.ctx, parts, buf);
+        if result.is_err() {
+            span.fail();
+        }
+        result
     }
 
     /// Marshals a copy of the object, leaving this object intact (§5.1.5).
+    /// Records under the `"marshal"` operation (one histogram covers both
+    /// marshal flavours).
     pub fn marshal_copy(&self, buf: &mut CommBuffer) -> Result<()> {
         let inner = self.inner();
-        inner.sc.marshal_copy(self, buf)
+        let mut span = spring_trace::span_start(
+            "marshal",
+            inner.ctx.domain().trace_scope(),
+            inner.sc.id().raw(),
+        );
+        let result = inner.sc.marshal_copy(self, buf);
+        if result.is_err() {
+            span.fail();
+        }
+        result
     }
 
     /// Produces a second object sharing the same underlying state (§7).
     pub fn copy(&self) -> Result<SpringObj> {
         let inner = self.inner();
-        inner.sc.copy(self)
+        let mut span = spring_trace::span_start(
+            "copy",
+            inner.ctx.domain().trace_scope(),
+            inner.sc.id().raw(),
+        );
+        let result = inner.sc.copy(self);
+        if result.is_err() {
+            span.fail();
+        }
+        result
     }
 
     /// Deletes the object explicitly, surfacing any error (dropping the
     /// object does the same but swallows failures).
     pub fn consume(mut self) -> Result<()> {
         let inner = self.inner.take().expect("object already consumed");
+        let mut span = spring_trace::span_start(
+            "consume",
+            inner.ctx.domain().trace_scope(),
+            inner.sc.id().raw(),
+        );
         let parts = ObjParts {
             type_info: inner.type_info,
             type_name: inner.type_name,
             repr: inner.repr,
         };
-        inner.sc.consume(&inner.ctx, parts)
+        let result = inner.sc.consume(&inner.ctx, parts);
+        if result.is_err() {
+            span.fail();
+        }
+        result
     }
 
     /// Disassembles the object without running `consume`, for subcontract
@@ -233,6 +284,11 @@ impl SpringObj {
 impl Drop for SpringObj {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
+            let _span = spring_trace::span_start(
+                "consume",
+                inner.ctx.domain().trace_scope(),
+                inner.sc.id().raw(),
+            );
             let parts = ObjParts {
                 type_info: inner.type_info,
                 type_name: inner.type_name,

@@ -54,6 +54,7 @@ impl Transport for KernelTransport {
         Ok(Message {
             bytes: msg.bytes,
             doors,
+            trace: msg.trace,
         })
     }
 }
@@ -70,9 +71,23 @@ pub fn ship_object(
     expected: &'static TypeInfo,
 ) -> Result<SpringObj> {
     let from = obj.ctx().domain().clone();
+    let mut span = spring_trace::span_start("ship", from.trace_scope(), 0);
     let mut buf = CommBuffer::pooled();
     obj.marshal(&mut buf)?;
-    let arrived = transport.ship(&from, to.domain(), buf.into_message())?;
+    let mut msg = buf.into_message();
+    // Stamp the envelope so the transport's far side reattaches under this
+    // span (the network transport serializes the context into its wire
+    // form).
+    if span.ctx().is_some() {
+        msg.trace = span.ctx();
+    }
+    let arrived = match transport.ship(&from, to.domain(), msg) {
+        Ok(m) => m,
+        Err(e) => {
+            span.fail();
+            return Err(e.into());
+        }
+    };
     let mut buf = CommBuffer::from_message(arrived);
     unmarshal_object(to, expected, &mut buf)
 }
@@ -85,9 +100,20 @@ pub fn ship_object_copy(
     expected: &'static TypeInfo,
 ) -> Result<SpringObj> {
     let from = obj.ctx().domain().clone();
+    let mut span = spring_trace::span_start("ship", from.trace_scope(), 0);
     let mut buf = CommBuffer::pooled();
     obj.marshal_copy(&mut buf)?;
-    let arrived = transport.ship(&from, to.domain(), buf.into_message())?;
+    let mut msg = buf.into_message();
+    if span.ctx().is_some() {
+        msg.trace = span.ctx();
+    }
+    let arrived = match transport.ship(&from, to.domain(), msg) {
+        Ok(m) => m,
+        Err(e) => {
+            span.fail();
+            return Err(e.into());
+        }
+    };
     let mut buf = CommBuffer::from_message(arrived);
     unmarshal_object(to, expected, &mut buf)
 }

@@ -73,8 +73,22 @@ pub fn unmarshal_object(
     expected: &'static TypeInfo,
     buf: &mut CommBuffer,
 ) -> Result<SpringObj> {
-    let initial = ctx.lookup_subcontract(expected.default_subcontract)?;
-    initial.unmarshal(ctx, expected, buf)
+    // The marshalled form leads with the subcontract identifier
+    // (put_obj_header), so peeking it here keys the "unmarshal" latency
+    // histogram by the subcontract that actually owns the bytes — even when
+    // the initial subcontract re-dispatches.
+    let mut span = spring_trace::span_start(
+        "unmarshal",
+        ctx.domain().trace_scope(),
+        buf.peek_u64().unwrap_or(0),
+    );
+    let result = ctx
+        .lookup_subcontract(expected.default_subcontract)
+        .and_then(|initial| initial.unmarshal(ctx, expected, buf));
+    if result.is_err() {
+        span.fail();
+    }
+    result
 }
 
 /// The first step of every subcontract's `unmarshal`: peek the identifier

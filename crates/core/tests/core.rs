@@ -26,6 +26,7 @@ fn kernel_transport_moves_identifiers() {
             Message {
                 bytes: vec![1, 2],
                 doors: vec![door],
+                ..Message::default()
             },
         )
         .unwrap();

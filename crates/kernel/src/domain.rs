@@ -82,6 +82,13 @@ impl Domain {
         self.kernel.domain_alive(self.id)
     }
 
+    /// The trace scope tag for this domain: `node << 32 | domain`. Spans
+    /// opened while executing in this domain record into the per-scope ring
+    /// buffer tagged with this value (see the `spring-trace` crate).
+    pub fn trace_scope(&self) -> u64 {
+        (self.kernel.node_id().raw() << 32) | self.id.raw()
+    }
+
     /// Creates a door served by this domain and returns the first identifier.
     pub fn create_door(&self, handler: Arc<dyn DoorHandler>) -> Result<DoorId, DoorError> {
         self.kernel.create_door(self.id, handler)

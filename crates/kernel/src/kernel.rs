@@ -527,9 +527,29 @@ impl Kernel {
         }
 
         self.inner.stats.door_calls.fetch_add(1, Ordering::Relaxed);
-        let delivered = self.translate(&caller_ds, caller, &server_ds, server, msg)?;
 
-        // Phase 2: run the handler outside all locks, on the caller's thread.
+        // The traced variant lives in a cold out-of-line function so the
+        // default path pays exactly one relaxed load for tracing — no span
+        // guard on the stack, no extra branches in the hot body.
+        if spring_trace::enabled() {
+            return self.call_traced(&caller_ds, caller, &server_ds, server, raw, handler, msg);
+        }
+        self.call_body(&caller_ds, caller, &server_ds, server, handler, msg)
+    }
+
+    /// Phases 2 and 3 of a door call: deliver the message, run the handler
+    /// outside all locks on the caller's thread, translate the reply back.
+    #[inline(always)]
+    fn call_body(
+        &self,
+        caller_ds: &Arc<DomainState>,
+        caller: DomainId,
+        server_ds: &Arc<DomainState>,
+        server: DomainId,
+        handler: Arc<dyn DoorHandler>,
+        msg: Message,
+    ) -> Result<Message, DoorError> {
+        let delivered = self.translate(caller_ds, caller, server_ds, server, msg)?;
         let ctx = CallCtx {
             caller,
             server: self.domain_handle(server),
@@ -538,9 +558,49 @@ impl Kernel {
             Ok(result) => result?,
             Err(_) => return Err(DoorError::Handler("door handler panicked".into())),
         };
+        self.translate(server_ds, server, caller_ds, caller, reply)
+    }
 
-        // Phase 3: translate the reply back to the caller.
-        self.translate(&server_ds, server, &caller_ds, caller, reply)
+    /// A door call with tracing enabled: one "door_call" span per call,
+    /// keyed by the raw door token so per-door latency histograms
+    /// accumulate. The piggybacked context on the message wins over the
+    /// thread-local current span — a context that crossed a serialization
+    /// boundary (the simulated network) reattaches here; within one machine
+    /// the two agree because door calls shuttle the caller's thread.
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn call_traced(
+        &self,
+        caller_ds: &Arc<DomainState>,
+        caller: DomainId,
+        server_ds: &Arc<DomainState>,
+        server: DomainId,
+        raw: u64,
+        handler: Arc<dyn DoorHandler>,
+        mut msg: Message,
+    ) -> Result<Message, DoorError> {
+        let parent = if msg.trace.is_some() {
+            msg.trace
+        } else {
+            spring_trace::current()
+        };
+        let scope = (self.inner.node.0 << 32) | server.0;
+        let mut span = spring_trace::span_child_of("door_call", parent, scope, raw);
+        msg.trace = span.ctx();
+
+        let mut result = self.call_body(caller_ds, caller, server_ds, server, handler, msg);
+        match &mut result {
+            Err(_) => span.fail(),
+            // Stamp the reply so whoever forwards it (the network server's
+            // reply hop) keeps the trace connected; a handler that already
+            // set a context keeps its own.
+            Ok(reply) => {
+                if reply.trace.is_none() {
+                    reply.trace = span.ctx();
+                }
+            }
+        }
+        result
     }
 
     /// Copies a message's payload (the simulated cross-address-space copy)
@@ -564,6 +624,7 @@ impl Kernel {
         let Message {
             bytes: src,
             doors: sent,
+            trace,
         } = msg;
         let bytes = if src.is_empty() {
             // Copying nothing: an empty Vec never allocates, so the pool
@@ -584,6 +645,7 @@ impl Kernel {
             return Ok(Message {
                 bytes,
                 doors: Vec::new(),
+                trace,
             });
         }
 
@@ -621,7 +683,11 @@ impl Kernel {
             .stats
             .ids_transferred
             .fetch_add(doors.len() as u64, Ordering::Relaxed);
-        Ok(Message { bytes, doors })
+        Ok(Message {
+            bytes,
+            doors,
+            trace,
+        })
     }
 }
 

@@ -66,4 +66,4 @@ pub use id::{DomainId, DoorId, NodeId, ShmId};
 pub use kernel::Kernel;
 pub use message::Message;
 pub use shm::{MappedShm, ShmRegion};
-pub use stats::KernelStats;
+pub use stats::{KernelStats, StatsSnapshot};

@@ -1,5 +1,7 @@
 //! The unit of transfer between domains.
 
+use spring_trace::TraceCtx;
+
 use crate::id::DoorId;
 
 /// A message crossing a domain boundary: opaque bytes plus door identifiers.
@@ -21,6 +23,12 @@ pub struct Message {
     pub bytes: Vec<u8>,
     /// Door identifiers transferred with the message, in slot order.
     pub doors: Vec<DoorId>,
+    /// Piggybacked trace context (16 bytes on the wire), carried in the
+    /// envelope next to the out-of-band door identifiers — the same channel
+    /// subcontracts use for their own dialogue (§5) — so propagation never
+    /// touches the payload and stubs stay oblivious (§9.1).
+    /// [`TraceCtx::NONE`] when tracing is disabled.
+    pub trace: TraceCtx,
 }
 
 impl Message {
@@ -33,7 +41,7 @@ impl Message {
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
         Message {
             bytes,
-            doors: Vec::new(),
+            ..Message::default()
         }
     }
 

@@ -10,9 +10,17 @@
 //! buffers. In steady state a null call performs zero payload allocations.
 //!
 //! The free list is thread-local, so `take`/`give` never contend on a lock.
-//! Hit/miss counters are process-wide atomics; `KernelStats::snapshot`
-//! surfaces them (every kernel in the process reports the same pool
-//! numbers — the pool is per-thread, not per-kernel).
+//!
+//! # Counter scope (footgun)
+//!
+//! Hit/miss counters are **process-wide** atomics, not per-kernel:
+//! `KernelStats::snapshot` surfaces them, but every kernel in the process
+//! reports the same pool numbers, and any test or benchmark running
+//! concurrently in the same process moves them. Code asserting on pool
+//! behaviour must either diff two snapshots taken on the same thread with
+//! nothing else running (what the benchmark harness does), or call
+//! [`reset_counters`] first and accept that it zeroes the counts for every
+//! observer at once.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,9 +83,21 @@ pub fn give(mut v: Vec<u8>) {
     });
 }
 
-/// Process-wide `(hits, misses)` counts since start.
+/// Process-wide `(hits, misses)` counts since start (or since the last
+/// [`reset_counters`]).
 pub fn counters() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Zeroes the process-wide hit/miss counters.
+///
+/// This affects every observer in the process at once — including other
+/// kernels and concurrently running tests — so it belongs at the start of a
+/// single-threaded measurement section, not in library code. The pooled
+/// backings themselves are untouched (each thread keeps its free list).
+pub fn reset_counters() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

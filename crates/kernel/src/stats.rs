@@ -4,101 +4,87 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::pool;
 
-/// Monotonic counters maintained by one [`crate::Kernel`].
+/// Defines [`KernelStats`] / [`StatsSnapshot`] plus their `snapshot` and
+/// `since` plumbing from one field list, so adding a counter is a one-line
+/// change instead of four copies of the same name.
 ///
-/// The benchmark harness reports these alongside wall-clock timings because
-/// they are hardware independent: the paper's claims about resource usage
-/// (for example, the cluster subcontract sharing one door among many objects,
-/// §8.1) are checked against these counts, not against 1993 microseconds.
-#[derive(Debug, Default)]
-pub struct KernelStats {
-    pub(crate) doors_created: AtomicU64,
-    pub(crate) door_calls: AtomicU64,
-    pub(crate) bytes_copied: AtomicU64,
-    pub(crate) ids_issued: AtomicU64,
-    pub(crate) ids_deleted: AtomicU64,
-    pub(crate) ids_transferred: AtomicU64,
-    pub(crate) unref_notifications: AtomicU64,
-    pub(crate) revocations: AtomicU64,
-    pub(crate) table_lock_waits: AtomicU64,
-    pub(crate) shard_lock_waits: AtomicU64,
+/// The two pool counters are appended to the snapshot inside the macro:
+/// they come from [`pool::counters`], not from per-kernel atomics, because
+/// the buffer pool is per-thread state shared by every kernel in the
+/// process.
+macro_rules! kernel_counters {
+    ($( $(#[$doc:meta])* $field:ident, )+) => {
+        /// Monotonic counters maintained by one [`crate::Kernel`].
+        ///
+        /// The benchmark harness reports these alongside wall-clock timings
+        /// because they are hardware independent: the paper's claims about
+        /// resource usage (for example, the cluster subcontract sharing one
+        /// door among many objects, §8.1) are checked against these counts,
+        /// not against 1993 microseconds.
+        #[derive(Debug, Default)]
+        pub struct KernelStats {
+            $( pub(crate) $field: AtomicU64, )+
+        }
+
+        /// A point-in-time snapshot of [`KernelStats`].
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $( $(#[$doc])* pub $field: u64, )+
+            /// Buffer-pool hits (process-wide; the pool is per-thread, not
+            /// per-kernel, so every kernel reports the same numbers — see
+            /// [`pool::counters`]).
+            pub pool_hits: u64,
+            /// Buffer-pool misses (process-wide, see `pool_hits`).
+            pub pool_misses: u64,
+        }
+
+        impl KernelStats {
+            /// Takes a consistent-enough snapshot of all counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                let (pool_hits, pool_misses) = pool::counters();
+                StatsSnapshot {
+                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                    pool_hits,
+                    pool_misses,
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Component-wise difference `self - earlier`, saturating at
+            /// zero.
+            pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $field: self.$field.saturating_sub(earlier.$field), )+
+                    pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+                    pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+                }
+            }
+        }
+    };
 }
 
-/// A point-in-time snapshot of [`KernelStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
+kernel_counters! {
     /// Doors created since kernel start.
-    pub doors_created: u64,
+    doors_created,
     /// Door calls executed (including failed deliveries).
-    pub door_calls: u64,
+    door_calls,
     /// Payload bytes physically copied across domain boundaries.
-    pub bytes_copied: u64,
+    bytes_copied,
     /// Door identifiers issued (creation, copy, and transfer each issue one).
-    pub ids_issued: u64,
+    ids_issued,
     /// Door identifiers deleted.
-    pub ids_deleted: u64,
+    ids_deleted,
     /// Door identifiers moved between domains by message transfer.
-    pub ids_transferred: u64,
+    ids_transferred,
     /// Unreferenced notifications delivered to door handlers.
-    pub unref_notifications: u64,
+    unref_notifications,
     /// Doors revoked (explicitly or by domain crash).
-    pub revocations: u64,
+    revocations,
     /// Times a domain door-table lock was contended (blocked on acquire).
-    pub table_lock_waits: u64,
+    table_lock_waits,
     /// Times a door-shard lock was contended (blocked on acquire).
-    pub shard_lock_waits: u64,
-    /// Buffer-pool hits (process-wide; the pool is per-thread, not
-    /// per-kernel, so every kernel reports the same numbers).
-    pub pool_hits: u64,
-    /// Buffer-pool misses (process-wide, see `pool_hits`).
-    pub pool_misses: u64,
-}
-
-impl KernelStats {
-    /// Takes a consistent-enough snapshot of all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let (pool_hits, pool_misses) = pool::counters();
-        StatsSnapshot {
-            doors_created: self.doors_created.load(Ordering::Relaxed),
-            door_calls: self.door_calls.load(Ordering::Relaxed),
-            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
-            ids_issued: self.ids_issued.load(Ordering::Relaxed),
-            ids_deleted: self.ids_deleted.load(Ordering::Relaxed),
-            ids_transferred: self.ids_transferred.load(Ordering::Relaxed),
-            unref_notifications: self.unref_notifications.load(Ordering::Relaxed),
-            revocations: self.revocations.load(Ordering::Relaxed),
-            table_lock_waits: self.table_lock_waits.load(Ordering::Relaxed),
-            shard_lock_waits: self.shard_lock_waits.load(Ordering::Relaxed),
-            pool_hits,
-            pool_misses,
-        }
-    }
-}
-
-impl StatsSnapshot {
-    /// Component-wise difference `self - earlier`, saturating at zero.
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            doors_created: self.doors_created.saturating_sub(earlier.doors_created),
-            door_calls: self.door_calls.saturating_sub(earlier.door_calls),
-            bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
-            ids_issued: self.ids_issued.saturating_sub(earlier.ids_issued),
-            ids_deleted: self.ids_deleted.saturating_sub(earlier.ids_deleted),
-            ids_transferred: self.ids_transferred.saturating_sub(earlier.ids_transferred),
-            unref_notifications: self
-                .unref_notifications
-                .saturating_sub(earlier.unref_notifications),
-            revocations: self.revocations.saturating_sub(earlier.revocations),
-            table_lock_waits: self
-                .table_lock_waits
-                .saturating_sub(earlier.table_lock_waits),
-            shard_lock_waits: self
-                .shard_lock_waits
-                .saturating_sub(earlier.shard_lock_waits),
-            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
-            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
-        }
-    }
+    shard_lock_waits,
 }
 
 #[cfg(test)]
@@ -120,5 +106,22 @@ mod tests {
         assert_eq!(d.doors_created, 0);
         assert_eq!(d.table_lock_waits, 0);
         assert_eq!(d.shard_lock_waits, 0);
+    }
+
+    #[test]
+    fn since_includes_pool_counters() {
+        let a = StatsSnapshot {
+            pool_hits: 5,
+            pool_misses: 2,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            pool_hits: 9,
+            pool_misses: 2,
+            ..StatsSnapshot::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.pool_hits, 4);
+        assert_eq!(d.pool_misses, 0);
     }
 }

@@ -126,6 +126,7 @@ fn message_transfers_identifiers_to_server() {
     let msg = Message {
         bytes: vec![],
         doors: vec![inner_id],
+        ..Message::default()
     };
     client.call(recv_id, msg).unwrap();
     assert_eq!(target.calls.load(Ordering::SeqCst), 1);
@@ -146,6 +147,7 @@ fn reply_can_carry_identifiers_back() {
             Ok(Message {
                 bytes: vec![],
                 doors: vec![new_door],
+                ..Message::default()
             })
         }
     }
@@ -279,6 +281,7 @@ fn bad_identifier_in_message_leaves_sender_intact() {
     let msg = Message {
         bytes: vec![],
         doors: vec![good, bogus],
+        ..Message::default()
     };
     assert_eq!(client.call(id, msg).unwrap_err(), DoorError::InvalidDoor);
     // The good identifier was not moved.

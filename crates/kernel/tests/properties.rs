@@ -103,7 +103,7 @@ proptest! {
                     if owner != send_owner { continue; }
                     // The echo handler bounces the identifier back; on
                     // success the caller re-owns a fresh identifier.
-                    let msg = Message { bytes: vec![], doors: vec![send_id] };
+                    let msg = Message { bytes: vec![], doors: vec![send_id], ..Message::default() };
                     match domains[owner].call(id, msg) {
                         Ok(reply) => {
                             prop_assert_eq!(reply.doors.len(), 1);

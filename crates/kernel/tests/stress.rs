@@ -112,6 +112,7 @@ fn door_carrying_messages_under_concurrency() {
                         Message {
                             bytes: vec![1, 2, 3],
                             doors: vec![extra],
+                            ..Message::default()
                         },
                     )
                     .unwrap();

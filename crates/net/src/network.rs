@@ -92,21 +92,54 @@ impl NetworkInner {
         msg: Message,
     ) -> Result<Message, DoorError> {
         self.calls_forwarded.fetch_add(1, Ordering::Relaxed);
-        self.check_link(from.node.raw(), target.origin)?;
 
-        let wire = from.to_wire(msg)?;
-        self.hop(wire.bytes.len(), true)?;
+        // One "net.forward" span per forwarded call; the piggybacked
+        // context on the message (stamped by the proxy door's kernel call)
+        // wins over the thread-local current span.
+        let parent = if msg.trace.is_some() {
+            msg.trace
+        } else {
+            spring_trace::current()
+        };
+        let mut span =
+            spring_trace::span_child_of("net.forward", parent, from.domain.trace_scope(), 0);
+        let mut msg = msg;
+        if span.ctx().is_some() {
+            msg.trace = span.ctx();
+        }
 
-        let home = self.server(target.origin)?;
-        let door = home.export_target(target.export)?;
-        let delivered = home.from_wire(wire)?;
-        let reply = home.domain.call(door, delivered)?;
+        let result = (|| {
+            self.check_link(from.node.raw(), target.origin)?;
+            let wire = from.to_wire(msg)?;
+            self.traced_hop(wire.bytes.len(), true, from.domain.trace_scope())?;
 
-        // The reply travels back across the same link.
-        self.check_link(target.origin, from.node.raw())?;
-        let wire = home.to_wire(reply)?;
-        self.hop(wire.bytes.len(), true)?;
-        from.from_wire(wire)
+            let home = self.server(target.origin)?;
+            let door = home.export_target(target.export)?;
+            let delivered = home.from_wire(wire)?;
+            let reply = home.domain.call(door, delivered)?;
+
+            // The reply travels back across the same link.
+            self.check_link(target.origin, from.node.raw())?;
+            let wire = home.to_wire(reply)?;
+            self.traced_hop(wire.bytes.len(), true, home.domain.trace_scope())?;
+            from.from_wire(wire)
+        })();
+        if result.is_err() {
+            span.fail();
+        }
+        result
+    }
+
+    /// Wraps [`NetworkInner::hop`] in a "net.hop" span; a dropped message
+    /// records as a failed span, so retries read as a failed hop followed by
+    /// a successful sibling.
+    fn traced_hop(&self, bytes: usize, lossy: bool, scope: u64) -> Result<(), DoorError> {
+        let mut span = spring_trace::span_start("net.hop", scope, 0);
+        let result = self.hop(bytes, lossy);
+        if result.is_err() {
+            span.fail();
+        }
+        result
     }
 }
 
@@ -233,6 +266,7 @@ impl Network {
             return Ok(Message {
                 bytes: msg.bytes,
                 doors,
+                trace: msg.trace,
             });
         }
 
@@ -250,8 +284,10 @@ impl Network {
         let wire = src.to_wire(Message {
             bytes: msg.bytes,
             doors: held,
+            trace: msg.trace,
         })?;
-        self.inner.hop(wire.bytes.len(), false)?;
+        self.inner
+            .traced_hop(wire.bytes.len(), false, src.domain.trace_scope())?;
         let arrived = dst.from_wire(wire)?;
         let mut doors = Vec::with_capacity(arrived.doors.len());
         for d in arrived.doors {
@@ -260,6 +296,7 @@ impl Network {
         Ok(Message {
             bytes: arrived.bytes,
             doors,
+            trace: arrived.trace,
         })
     }
 }

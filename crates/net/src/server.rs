@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use spring_kernel::{CallCtx, Domain, DoorError, DoorHandler, DoorId, Message, NodeId};
+use spring_trace::TraceCtx;
 
 use crate::network::NetworkInner;
 
@@ -22,6 +23,11 @@ pub(crate) struct WireCap {
 pub(crate) struct WireMessage {
     pub bytes: Vec<u8>,
     pub caps: Vec<WireCap>,
+    /// The piggybacked trace context, serialized to its 16-byte wire form —
+    /// genuinely flattened and rebuilt on each side of the simulated
+    /// serialization boundary, so cross-machine propagation exercises the
+    /// same path a real network stack would.
+    pub trace: [u8; 16],
 }
 
 #[derive(Default)]
@@ -145,6 +151,7 @@ impl NetServer {
         Ok(WireMessage {
             bytes: msg.bytes,
             caps,
+            trace: msg.trace.to_bytes(),
         })
     }
 
@@ -158,6 +165,7 @@ impl NetServer {
         Ok(Message {
             bytes: wire.bytes,
             doors,
+            trace: TraceCtx::from_bytes(wire.trace),
         })
     }
 }

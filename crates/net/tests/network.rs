@@ -39,6 +39,7 @@ fn cross_node_call_through_proxy() {
     let msg = Message {
         bytes: vec![],
         doors: vec![door],
+        ..Message::default()
     };
     let arrived = net.ship_message(&server, &client, msg).unwrap();
     let proxy = arrived.doors[0];
@@ -68,6 +69,7 @@ fn identifier_coming_home_is_local_again() {
     let msg = Message {
         bytes: vec![],
         doors: vec![door],
+        ..Message::default()
     };
     let at_a = net.ship_message(&server, &client, msg).unwrap();
     let back = net.ship_message(&client, &other, at_a).unwrap();
@@ -97,6 +99,7 @@ fn third_party_node_gets_chained_route() {
     let msg = Message {
         bytes: vec![],
         doors: vec![door],
+        ..Message::default()
     };
     let at_b = net.ship_message(&server, &via, msg).unwrap();
     let at_c = net.ship_message(&via, &client, at_b).unwrap();
@@ -125,6 +128,7 @@ fn replies_can_carry_doors_back_across_the_net() {
             Ok(Message {
                 bytes: vec![],
                 doors: vec![fresh],
+                ..Message::default()
             })
         }
     }
@@ -133,6 +137,7 @@ fn replies_can_carry_doors_back_across_the_net() {
     let msg = Message {
         bytes: vec![],
         doors: vec![mint],
+        ..Message::default()
     };
     let arrived = net.ship_message(&server, &client, msg).unwrap();
 
@@ -161,6 +166,7 @@ fn partitions_cut_calls_and_heal() {
             Message {
                 bytes: vec![],
                 doors: vec![door],
+                ..Message::default()
             },
         )
         .unwrap();
@@ -196,6 +202,7 @@ fn loss_injection_fails_calls_probabilistically() {
             Message {
                 bytes: vec![],
                 doors: vec![door],
+                ..Message::default()
             },
         )
         .unwrap();
@@ -227,6 +234,7 @@ fn latency_is_actually_paid() {
             Message {
                 bytes: vec![],
                 doors: vec![door],
+                ..Message::default()
             },
         )
         .unwrap();
@@ -253,6 +261,7 @@ fn same_node_ship_is_a_plain_transfer() {
             Message {
                 bytes: vec![7],
                 doors: vec![door],
+                ..Message::default()
             },
         )
         .unwrap();
@@ -282,6 +291,7 @@ fn proxy_reuse_for_repeated_imports() {
             Message {
                 bytes: vec![],
                 doors: vec![door],
+                ..Message::default()
             },
         )
         .unwrap();
@@ -292,6 +302,7 @@ fn proxy_reuse_for_repeated_imports() {
             Message {
                 bytes: vec![],
                 doors: vec![dup],
+                ..Message::default()
             },
         )
         .unwrap();

@@ -16,6 +16,7 @@ impl DoorHandler for Tag {
         Ok(Message {
             bytes,
             doors: msg.doors,
+            ..Message::default()
         })
     }
 }
@@ -48,7 +49,7 @@ proptest! {
         for (m, d) in route {
             let next = &domains[m % nodes][d];
             let moved = net
-                .ship_message(&holder, next, Message { bytes: vec![], doors: vec![id] })
+                .ship_message(&holder, next, Message { bytes: vec![], doors: vec![id], ..Message::default() })
                 .unwrap();
             id = moved.doors[0];
             holder = next.clone();
@@ -76,7 +77,7 @@ proptest! {
         for c in &clients {
             let d = server.create_door(Arc::new(Tag(9))).unwrap();
             let moved = net
-                .ship_message(&server, c, Message { bytes: vec![], doors: vec![d] })
+                .ship_message(&server, c, Message { bytes: vec![], doors: vec![d], ..Message::default() })
                 .unwrap();
             ids.push(moved.doors[0]);
         }
@@ -109,7 +110,7 @@ proptest! {
         let client = a.kernel().create_domain("client");
         let door = server.create_door(Arc::new(Tag(0))).unwrap();
         let moved = net
-            .ship_message(&server, &client, Message { bytes: vec![], doors: vec![door] })
+            .ship_message(&server, &client, Message { bytes: vec![], doors: vec![door], ..Message::default() })
             .unwrap();
 
         let mut last = net.stats();

@@ -111,13 +111,22 @@ impl DoorHandler for DirectHandler {
         cctx: &CallCtx,
         msg: Message,
     ) -> std::result::Result<Message, spring_kernel::DoorError> {
+        let mut span = spring_trace::span_start(
+            "caching.serve",
+            self.ctx.domain().trace_scope(),
+            Caching::ID.raw(),
+        );
         let mut args = CommBuffer::from_message(msg);
         let mut reply = CommBuffer::new();
         let sctx = ServerCtx {
             ctx: self.ctx.clone(),
             caller: cctx.caller,
         };
-        server_dispatch(&sctx, &*self.disp, &mut args, &mut reply)?;
+        let result = server_dispatch(&sctx, &*self.disp, &mut args, &mut reply);
+        if result.is_err() {
+            span.fail();
+        }
+        result?;
         Ok(reply.into_message())
     }
 }

@@ -135,7 +135,7 @@ impl Subcontract for Reconnectable {
         let repr = obj.repr().downcast::<ReconRepr>(self.name())?;
         let domain = obj.ctx().domain();
         let msg = call.into_message();
-        let (bytes, arg_doors) = (msg.bytes, msg.doors);
+        let (bytes, arg_doors, trace) = (msg.bytes, msg.doors, msg.trace);
 
         let mut reconnects = 0u32;
         loop {
@@ -143,8 +143,18 @@ impl Subcontract for Reconnectable {
             let attempt = Message {
                 bytes: bytes.clone(),
                 doors: arg_doors.clone(),
+                trace,
             };
-            match domain.call(door, attempt) {
+            // One span per attempt, so a reconnect reads as a failed sibling
+            // plus the retry that succeeded.
+            let mut attempt_span =
+                spring_trace::span_start("reconnectable.attempt", domain.trace_scope(), 0);
+            let outcome = domain.call(door, attempt);
+            if outcome.is_err() {
+                attempt_span.fail();
+            }
+            drop(attempt_span);
+            match outcome {
                 Ok(reply) => return Ok(CommBuffer::from_message(reply)),
                 Err(e) if e.is_comm_failure() => {
                     reconnects += 1;

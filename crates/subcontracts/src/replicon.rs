@@ -93,7 +93,7 @@ impl Subcontract for Replicon {
         let repr = obj.repr().downcast::<RepliconRepr>(self.name())?;
         let domain = obj.ctx().domain();
         let msg = call.into_message();
-        let (bytes, arg_doors) = (msg.bytes, msg.doors);
+        let (bytes, arg_doors, trace) = (msg.bytes, msg.doors, msg.trace);
 
         loop {
             // Snapshot the first target under the lock; call outside it.
@@ -104,8 +104,18 @@ impl Subcontract for Replicon {
             let attempt = Message {
                 bytes: bytes.clone(),
                 doors: arg_doors.clone(),
+                trace,
             };
-            match domain.call(target, attempt) {
+            // One span per attempt: a failover shows up in the trace as a
+            // failed sibling followed by the successful retry.
+            let mut attempt_span =
+                spring_trace::span_start("replicon.attempt", domain.trace_scope(), 0);
+            let outcome = domain.call(target, attempt);
+            if outcome.is_err() {
+                attempt_span.fail();
+            }
+            drop(attempt_span);
+            match outcome {
                 Ok(reply) => {
                     let mut reply = CommBuffer::from_message(reply);
                     self.absorb_reply_control(obj, &mut reply)?;
@@ -387,6 +397,7 @@ impl ReplicaGroup {
         let msg = Message {
             bytes: Vec::new(),
             doors: vec![copy],
+            ..Message::default()
         };
         let mut arrived = self.transport.ship(member.ctx.domain(), to, msg)?;
         arrived

@@ -1,0 +1,199 @@
+//! Per-subcontract and per-door latency histograms.
+//!
+//! Fixed log2 buckets: bucket `b` holds samples with `ns` in
+//! `[2^b, 2^(b+1))` (bucket 0 also takes 0 ns), so recording is a
+//! `leading_zeros` plus one relaxed atomic increment — no allocation, no
+//! lock on the hot path. Histograms are keyed by `(key, op)` where `key` is
+//! a subcontract identifier ([`ScId::raw`]-style 64-bit hash) or a kernel
+//! door token, and `op` is the operation name (`"marshal"`, `"unmarshal"`,
+//! `"invoke"`, `"copy"`, `"consume"`, `"door_call"`, ...). The two key
+//! spaces share one registry; the op string keeps them apart.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+/// Number of log2 buckets: covers `[1 ns, 2^40 ns)` ≈ 18 minutes, beyond
+/// any latency this system produces; larger samples clamp into the last
+/// bucket.
+pub const BUCKETS: usize = 40;
+
+/// One latency histogram (fixed log2 buckets plus count/sum/max).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log2 bucket index for a nanosecond sample.
+fn bucket_of(ns: u64) -> usize {
+    if ns <= 1 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample (relaxed atomics only; no allocation).
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Copy, Debug)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts; bucket `b` covers `[2^b, 2^(b+1))` ns.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest single sample in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl HistSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the `p`-quantile,
+    /// `p` in `[0, 1]`. A log2 histogram answers quantiles to within 2x,
+    /// which is what a regression tripwire needs.
+    pub fn quantile_bound_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return 1u64 << (b + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// (key, op) -> histogram registry.
+type Registry = RwLock<HashMap<(u64, &'static str), Arc<Histogram>>>;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// The histogram for `(key, op)`, created on first use.
+pub fn histogram(key: u64, op: &'static str) -> Arc<Histogram> {
+    if let Some(h) = registry().read().get(&(key, op)) {
+        return Arc::clone(h);
+    }
+    Arc::clone(
+        registry()
+            .write()
+            .entry((key, op))
+            .or_insert_with(|| Arc::new(Histogram::default())),
+    )
+}
+
+/// Records one sample into the `(key, op)` histogram.
+pub fn record(key: u64, op: &'static str, ns: u64) {
+    histogram(key, op).record(ns);
+}
+
+/// Snapshot of every histogram, ordered by key then op.
+pub fn snapshot_all() -> Vec<(u64, &'static str, HistSnapshot)> {
+    let mut out: Vec<(u64, &'static str, HistSnapshot)> = registry()
+        .read()
+        .iter()
+        .map(|(&(key, op), h)| (key, op, h.snapshot()))
+        .collect();
+    out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    out
+}
+
+/// Drops every histogram.
+pub fn clear() {
+    registry().write().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h = Histogram::default();
+        for ns in [1u64, 2, 4, 4, 1000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_ns, 1011);
+        assert_eq!(s.max_ns, 1000);
+        assert_eq!(s.mean_ns(), 202);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[9], 1);
+        // Median falls in the 4-ns bucket: bound is 8.
+        assert_eq!(s.quantile_bound_ns(0.5), 8);
+        assert_eq!(s.quantile_bound_ns(1.0), 1 << 10);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        record(0xfeed, "test_op_hist", 100);
+        record(0xfeed, "test_op_hist", 200);
+        let snap = histogram(0xfeed, "test_op_hist").snapshot();
+        assert_eq!(snap.count, 2);
+        assert!(snapshot_all()
+            .iter()
+            .any(|(k, op, _)| *k == 0xfeed && *op == "test_op_hist"));
+    }
+}

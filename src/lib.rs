@@ -74,4 +74,5 @@ pub use spring_naming as naming;
 pub use spring_net as net;
 pub use spring_services as services;
 pub use spring_subcontracts as subcontracts;
+pub use spring_trace as trace;
 pub use subcontract as core;
