@@ -65,6 +65,16 @@ pub fn e1_null_call(iters: u64) -> Json {
     let simplex_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
     let simplex_ns = ns_per_iter(iters, || ping(&simplex_obj).unwrap());
 
+    // At-most-once arm: every call carries a fresh call identity and the
+    // server records its reply in the dedup cache. The id-free arms above
+    // all pass `CallId::NONE` through the same serve path (one branch), so
+    // any drift in *their* numbers is the disabled-path cost — the gate CI
+    // watches. The delta of this arm against singleton is the full price
+    // of the identity machinery when it is switched on.
+    let obj = Reconnectable::export(&server, servant(), "e1-amo").unwrap();
+    let amo_obj = ship_object(&KernelTransport, obj, &client, &PINGER_TYPE).unwrap();
+    let amo_ns = ns_per_iter(iters, || ping(&amo_obj).unwrap());
+
     let delta = kernel.stats().since(&before);
 
     println!(
@@ -96,6 +106,16 @@ pub fn e1_null_call(iters: u64) -> Json {
         "2 client + 2 server"
     );
     println!(
+        "{:<34} {:>12} {:>24}",
+        "at-most-once (reconnectable)",
+        fmt_ns(amo_ns),
+        "2 client + 1 server"
+    );
+    println!(
+        "at-most-once identity + reply cache vs singleton: +{}",
+        fmt_ns(amo_ns - singleton_ns)
+    );
+    println!(
         "subcontract overhead vs raw: singleton +{}, simplex +{} (paper: < 2 µs on a SPARCstation 2)",
         fmt_ns(singleton_ns - raw_ns),
         fmt_ns(simplex_ns - raw_ns)
@@ -124,6 +144,7 @@ pub fn e1_null_call(iters: u64) -> Json {
                 arm("fused_stubs", fused_ns, 0),
                 arm("singleton", singleton_ns, 3),
                 arm("simplex", simplex_ns, 4),
+                arm("at_most_once", amo_ns, 3),
             ]),
         ),
         (
@@ -132,6 +153,10 @@ pub fn e1_null_call(iters: u64) -> Json {
                 ("singleton_vs_raw", Json::from(singleton_ns - raw_ns)),
                 ("simplex_vs_raw", Json::from(simplex_ns - raw_ns)),
                 ("simplex_vs_fused", Json::from(simplex_ns - fused_ns)),
+                (
+                    "at_most_once_vs_singleton",
+                    Json::from(amo_ns - singleton_ns),
+                ),
             ]),
         ),
         ("kernel_counters", kernel_counters_json(&delta)),
@@ -536,6 +561,7 @@ pub fn e6_reconnect() {
         let policy = RetryPolicy {
             max_attempts: 500,
             interval: Duration::from_millis(interval_ms),
+            ..RetryPolicy::default()
         };
 
         let names = Arc::new(parking_lot::Mutex::new(std::collections::HashMap::<

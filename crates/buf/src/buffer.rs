@@ -3,7 +3,7 @@
 use std::fmt;
 use std::mem;
 
-use spring_kernel::{pool, DoorId, MappedShm, Message};
+use spring_kernel::{pool, CallId, DoorId, MappedShm, Message};
 use spring_trace::TraceCtx;
 
 use crate::error::BufError;
@@ -57,6 +57,10 @@ pub struct CommBuffer {
     /// [`CommBuffer::into_message`], so decode → re-marshal paths (the
     /// network proxies) keep the trace connected without payload changes.
     trace: TraceCtx,
+    /// Call identity riding the envelope, preserved across decode →
+    /// re-marshal exactly like `trace`, so pass-through paths (the caching
+    /// servant, proxies) keep at-most-once retries deduplicatable.
+    call: CallId,
 }
 
 impl Default for CommBuffer {
@@ -96,6 +100,7 @@ impl CommBuffer {
             caps: Vec::new(),
             consumed: Vec::new(),
             trace: TraceCtx::NONE,
+            call: CallId::NONE,
         }
     }
 
@@ -107,6 +112,7 @@ impl CommBuffer {
             caps: Vec::new(),
             consumed: Vec::new(),
             trace: TraceCtx::NONE,
+            call: CallId::NONE,
         }
     }
 
@@ -121,6 +127,7 @@ impl CommBuffer {
             caps: Vec::new(),
             consumed: Vec::new(),
             trace: TraceCtx::NONE,
+            call: CallId::NONE,
         }
     }
 
@@ -132,6 +139,7 @@ impl CommBuffer {
             caps: msg.doors,
             consumed: Vec::new(),
             trace: msg.trace,
+            call: msg.call,
         }
     }
 
@@ -147,6 +155,7 @@ impl CommBuffer {
                 bytes,
                 doors: mem::take(&mut self.caps),
                 trace: self.trace,
+                call: self.call,
             },
             Backing::Shm(_) => panic!("shm-backed buffer cannot become a heap message"),
         }
@@ -194,6 +203,7 @@ impl CommBuffer {
             caps,
             consumed: Vec::new(),
             trace: TraceCtx::NONE,
+            call: CallId::NONE,
         }
     }
 
@@ -206,6 +216,17 @@ impl CommBuffer {
     /// [`CommBuffer::into_message`].
     pub fn set_trace(&mut self, trace: TraceCtx) {
         self.trace = trace;
+    }
+
+    /// The envelope call identity this buffer carries.
+    pub fn call(&self) -> CallId {
+        self.call
+    }
+
+    /// Sets the envelope call identity emitted by
+    /// [`CommBuffer::into_message`].
+    pub fn set_call(&mut self, call: CallId) {
+        self.call = call;
     }
 
     /// Returns true when the backing store is a shared-memory mapping.

@@ -55,6 +55,7 @@ impl Transport for KernelTransport {
             bytes: msg.bytes,
             doors,
             trace: msg.trace,
+            call: msg.call,
         })
     }
 }

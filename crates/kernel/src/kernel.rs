@@ -625,6 +625,7 @@ impl Kernel {
             bytes: src,
             doors: sent,
             trace,
+            call,
         } = msg;
         let bytes = if src.is_empty() {
             // Copying nothing: an empty Vec never allocates, so the pool
@@ -646,6 +647,7 @@ impl Kernel {
                 bytes,
                 doors: Vec::new(),
                 trace,
+                call,
             });
         }
 
@@ -687,6 +689,7 @@ impl Kernel {
             bytes,
             doors,
             trace,
+            call,
         })
     }
 }

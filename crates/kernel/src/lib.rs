@@ -51,19 +51,23 @@
 //! assert_eq!(reply.bytes, vec![1, 2, 3]);
 //! ```
 
+pub mod callid;
 mod domain;
 mod error;
 mod id;
 mod kernel;
 mod message;
 pub mod pool;
+mod rng;
 mod shm;
 mod stats;
 
+pub use callid::CallId;
 pub use domain::{CallCtx, Domain, DoorHandler};
 pub use error::DoorError;
 pub use id::{DomainId, DoorId, NodeId, ShmId};
 pub use kernel::Kernel;
 pub use message::Message;
+pub use rng::FaultRng;
 pub use shm::{MappedShm, ShmRegion};
 pub use stats::{KernelStats, StatsSnapshot};

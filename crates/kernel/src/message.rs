@@ -2,6 +2,7 @@
 
 use spring_trace::TraceCtx;
 
+use crate::callid::CallId;
 use crate::id::DoorId;
 
 /// A message crossing a domain boundary: opaque bytes plus door identifiers.
@@ -29,6 +30,12 @@ pub struct Message {
     /// touches the payload and stubs stay oblivious (§9.1).
     /// [`TraceCtx::NONE`] when tracing is disabled.
     pub trace: TraceCtx,
+    /// Piggybacked call identity (20 bytes on the wire) for at-most-once
+    /// invocation: retrying subcontracts stamp every attempt of one logical
+    /// call with the same nonce so the server's reply cache can return the
+    /// original reply instead of re-executing. [`CallId::NONE`] — the
+    /// common case — costs nothing on the fast path.
+    pub call: CallId,
 }
 
 impl Message {

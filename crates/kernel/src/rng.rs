@@ -1,14 +1,15 @@
-//! Deterministic fault-injection RNG.
+//! Deterministic fault-injection / jitter RNG.
 //!
-//! The network layer needs only two draws — a loss roll and a jitter
-//! fraction — so it carries its own tiny SplitMix64 generator instead of an
-//! external dependency (the build environment has no crates.io access).
-//! Determinism per seed is part of the contract: tests reseed via
-//! [`crate::Network::reseed`] and expect reproducible drop patterns.
+//! The network layer needs a loss roll and a jitter fraction per hop, and
+//! the retry engine needs backoff jitter — so the workspace carries one
+//! tiny SplitMix64 generator instead of an external dependency (the build
+//! environment has no crates.io access). Determinism per seed is part of
+//! the contract: tests reseed via `Network::reseed` and expect reproducible
+//! drop patterns, and the exactly-once fault-injection suite sweeps seeds.
 
 /// SplitMix64 — 64 bits of state, one multiply-xorshift chain per draw.
 #[derive(Clone, Debug)]
-pub(crate) struct FaultRng {
+pub struct FaultRng {
     state: u64,
 }
 
@@ -19,7 +20,7 @@ impl FaultRng {
     }
 
     /// Next raw 64 random bits.
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -222,6 +222,7 @@ fn name_client_is_the_reconnectable_resolver() {
     let policy = RetryPolicy {
         max_attempts: 10,
         interval: std::time::Duration::from_millis(1),
+        ..RetryPolicy::default()
     };
     client_ctx.register_subcontract(Reconnectable::with_policy(policy));
     client_ctx.set_resolver(Arc::new(names));

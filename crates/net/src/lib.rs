@@ -26,7 +26,6 @@
 
 mod config;
 mod network;
-mod rng;
 mod server;
 
 pub use config::{NetConfig, NetStatsSnapshot};

@@ -5,10 +5,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use spring_kernel::{Domain, DoorError, Kernel, Message, NodeId};
+use spring_kernel::{Domain, DoorError, FaultRng, Kernel, Message, NodeId};
 
 use crate::config::{NetConfig, NetStatsSnapshot};
-use crate::rng::FaultRng;
 use crate::server::{NetServer, WireCap};
 
 pub(crate) struct NetworkInner {
@@ -110,8 +109,13 @@ impl NetworkInner {
 
         let result = (|| {
             self.check_link(from.node.raw(), target.origin)?;
-            let wire = from.to_wire(msg)?;
-            self.traced_hop(wire.bytes.len(), true, from.domain.trace_scope())?;
+            let (wire, fresh) = from.to_wire_tracked(msg)?;
+            if let Err(e) = self.traced_hop(wire.bytes.len(), true, from.domain.trace_scope()) {
+                // The call never left this node: release the exports pinned
+                // for it, or every lost attempt leaks a pinned door.
+                from.unexport(&fresh);
+                return Err(e);
+            }
 
             let home = self.server(target.origin)?;
             let door = home.export_target(target.export)?;
@@ -119,9 +123,23 @@ impl NetworkInner {
             let reply = home.domain.call(door, delivered)?;
 
             // The reply travels back across the same link.
-            self.check_link(target.origin, from.node.raw())?;
-            let wire = home.to_wire(reply)?;
-            self.traced_hop(wire.bytes.len(), true, home.domain.trace_scope())?;
+            if let Err(e) = self.check_link(target.origin, from.node.raw()) {
+                // A partition formed while the call executed: the reply
+                // cannot leave, so release its identifiers instead of
+                // stranding them in the network server's domain.
+                for d in reply.doors {
+                    let _ = home.domain.delete_door(d);
+                }
+                return Err(e);
+            }
+            let (wire, fresh) = home.to_wire_tracked(reply)?;
+            if let Err(e) = self.traced_hop(wire.bytes.len(), true, home.domain.trace_scope()) {
+                // A reply lost on the wire must not strand the exports it
+                // pinned — the call already executed and will not be
+                // re-sent on this wire message.
+                home.unexport(&fresh);
+                return Err(e);
+            }
             from.from_wire(wire)
         })();
         if result.is_err() {
@@ -260,13 +278,31 @@ impl Network {
         let to_node = to.kernel().node_id();
         if from_node == to_node {
             let mut doors = Vec::with_capacity(msg.doors.len());
-            for d in msg.doors {
-                doors.push(from.transfer_door(d, to)?);
+            let mut pending = msg.doors.into_iter();
+            for d in pending.by_ref() {
+                match from.transfer_door(d, to) {
+                    Ok(t) => doors.push(t),
+                    Err(e) => {
+                        // A failed send loses the whole message: delete the
+                        // identifiers already landed in the receiver and the
+                        // ones not yet sent, rather than stranding a
+                        // partially-transferred capability set in two
+                        // domains forever.
+                        for t in doors {
+                            let _ = to.delete_door(t);
+                        }
+                        for rest in pending {
+                            let _ = from.delete_door(rest);
+                        }
+                        return Err(e);
+                    }
+                }
             }
             return Ok(Message {
                 bytes: msg.bytes,
                 doors,
                 trace: msg.trace,
+                call: msg.call,
             });
         }
 
@@ -278,25 +314,53 @@ impl Network {
         // form, hop, and reverse on the receiving side. Object transfers
         // ride a reliable stream, so no loss is applied.
         let mut held = Vec::with_capacity(msg.doors.len());
-        for d in msg.doors {
-            held.push(from.transfer_door(d, &src.domain)?);
+        let mut pending = msg.doors.into_iter();
+        for d in pending.by_ref() {
+            match from.transfer_door(d, &src.domain) {
+                Ok(t) => held.push(t),
+                Err(e) => {
+                    // Same discipline as the same-node path: a failed send
+                    // loses the message, so nothing stays pinned.
+                    for t in held {
+                        let _ = src.domain.delete_door(t);
+                    }
+                    for rest in pending {
+                        let _ = from.delete_door(rest);
+                    }
+                    return Err(e);
+                }
+            }
         }
         let wire = src.to_wire(Message {
             bytes: msg.bytes,
             doors: held,
             trace: msg.trace,
+            call: msg.call,
         })?;
         self.inner
             .traced_hop(wire.bytes.len(), false, src.domain.trace_scope())?;
         let arrived = dst.from_wire(wire)?;
         let mut doors = Vec::with_capacity(arrived.doors.len());
-        for d in arrived.doors {
-            doors.push(dst.domain.transfer_door(d, to)?);
+        let mut pending = arrived.doors.into_iter();
+        for d in pending.by_ref() {
+            match dst.domain.transfer_door(d, to) {
+                Ok(t) => doors.push(t),
+                Err(e) => {
+                    for t in doors {
+                        let _ = to.delete_door(t);
+                    }
+                    for rest in pending {
+                        let _ = dst.domain.delete_door(rest);
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(Message {
             bytes: arrived.bytes,
             doors,
             trace: arrived.trace,
+            call: arrived.call,
         })
     }
 }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use spring_kernel::{CallCtx, Domain, DoorError, DoorHandler, DoorId, Message, NodeId};
+use spring_kernel::{CallCtx, CallId, Domain, DoorError, DoorHandler, DoorId, Message, NodeId};
 use spring_trace::TraceCtx;
 
 use crate::network::NetworkInner;
@@ -28,6 +28,11 @@ pub(crate) struct WireMessage {
     /// serialization boundary, so cross-machine propagation exercises the
     /// same path a real network stack would.
     pub trace: [u8; 16],
+    /// The piggybacked call identity, serialized to its 20-byte wire form
+    /// alongside the trace context — same envelope channel, same
+    /// flatten/rebuild discipline, so at-most-once retries stay
+    /// deduplicatable across machines without any stub changes.
+    pub call: [u8; 20],
 }
 
 #[derive(Default)]
@@ -63,8 +68,12 @@ impl NetServer {
     }
 
     /// Maps a door identifier (owned by this network server's domain) to
-    /// network form, consuming the identifier.
-    pub fn export_cap(&self, door: DoorId) -> Result<WireCap, DoorError> {
+    /// network form, consuming the identifier. Also reports whether the
+    /// call created a *fresh* export-table entry (as opposed to reusing an
+    /// existing export or passing a proxy target through). Only fresh
+    /// entries may be rolled back by [`NetServer::unexport`]: a reused
+    /// entry is shared with every other node already holding a proxy.
+    fn export_cap_tracked(&self, door: DoorId) -> Result<(WireCap, bool), DoorError> {
         let token = self.domain.door_token(door)?;
         let mut tables = self.tables.lock();
 
@@ -72,27 +81,50 @@ impl NetServer {
         if let Some(&target) = tables.proxies_by_token.get(&token) {
             drop(tables);
             self.domain.delete_door(door)?;
-            return Ok(target);
+            return Ok((target, false));
         }
 
         // Already exported: the duplicate identifier is redundant.
         if let Some(&export) = tables.exports_by_token.get(&token) {
             drop(tables);
             self.domain.delete_door(door)?;
-            return Ok(WireCap {
-                origin: self.node.raw(),
-                export,
-            });
+            return Ok((
+                WireCap {
+                    origin: self.node.raw(),
+                    export,
+                },
+                false,
+            ));
         }
 
         let export = self.next_export.fetch_add(1, Ordering::Relaxed);
         tables.exports.insert(export, door);
         tables.exports_by_token.insert(token, export);
         self.net.count_export();
-        Ok(WireCap {
-            origin: self.node.raw(),
-            export,
-        })
+        Ok((
+            WireCap {
+                origin: self.node.raw(),
+                export,
+            },
+            true,
+        ))
+    }
+
+    /// Rolls back export-table entries created for a message that was never
+    /// delivered: each entry is removed and its pinned identifier deleted,
+    /// so a send lost on the wire does not pin doors forever. Must only be
+    /// given export ids reported fresh by the matching
+    /// [`NetServer::to_wire_tracked`] call.
+    pub fn unexport(&self, fresh: &[u64]) {
+        let mut tables = self.tables.lock();
+        for &export in fresh {
+            if let Some(door) = tables.exports.remove(&export) {
+                if let Ok(token) = self.domain.door_token(door) {
+                    tables.exports_by_token.remove(&token);
+                }
+                let _ = self.domain.delete_door(door);
+            }
+        }
     }
 
     /// Maps a network-form capability back to a door identifier owned by
@@ -144,15 +176,41 @@ impl NetServer {
     /// Converts an outbound message (identifiers owned by this server's
     /// domain) to wire form.
     pub fn to_wire(&self, msg: Message) -> Result<WireMessage, DoorError> {
+        self.to_wire_tracked(msg).map(|(wire, _)| wire)
+    }
+
+    /// Like [`NetServer::to_wire`], but additionally returns the export ids
+    /// freshly pinned for this message, so a caller whose subsequent hop
+    /// fails can release them with [`NetServer::unexport`] instead of
+    /// leaking one pinned door per lost send. If exporting fails partway,
+    /// the entries already created for this message are rolled back before
+    /// the error propagates.
+    pub fn to_wire_tracked(&self, msg: Message) -> Result<(WireMessage, Vec<u64>), DoorError> {
         let mut caps = Vec::with_capacity(msg.doors.len());
+        let mut fresh = Vec::new();
         for d in msg.doors {
-            caps.push(self.export_cap(d)?);
+            match self.export_cap_tracked(d) {
+                Ok((cap, is_fresh)) => {
+                    if is_fresh {
+                        fresh.push(cap.export);
+                    }
+                    caps.push(cap);
+                }
+                Err(e) => {
+                    self.unexport(&fresh);
+                    return Err(e);
+                }
+            }
         }
-        Ok(WireMessage {
-            bytes: msg.bytes,
-            caps,
-            trace: msg.trace.to_bytes(),
-        })
+        Ok((
+            WireMessage {
+                bytes: msg.bytes,
+                caps,
+                trace: msg.trace.to_bytes(),
+                call: msg.call.to_bytes(),
+            },
+            fresh,
+        ))
     }
 
     /// Converts an inbound wire message to a local message whose identifiers
@@ -166,6 +224,7 @@ impl NetServer {
             bytes: wire.bytes,
             doors,
             trace: TraceCtx::from_bytes(wire.trace),
+            call: CallId::from_bytes(wire.call),
         })
     }
 }

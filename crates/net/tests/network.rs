@@ -312,3 +312,201 @@ fn proxy_reuse_for_repeated_imports() {
     assert!(c1.call(m1.doors[0], Message::new()).is_ok());
     assert!(c2.call(m2.doors[0], Message::new()).is_ok());
 }
+
+/// Live identifier count for one kernel: issued minus deleted. Leak
+/// regressions assert this returns to its pre-failure baseline.
+fn live_ids(kernel: &spring_kernel::Kernel) -> u64 {
+    let s = kernel.stats();
+    s.ids_issued - s.ids_deleted
+}
+
+/// Mints a fresh door into every reply — the shape of call whose lost
+/// reply used to strand an export-table pin on the serving node.
+struct DoorMaker;
+
+impl DoorHandler for DoorMaker {
+    fn invoke(&self, ctx: &CallCtx, _msg: Message) -> Result<Message, DoorError> {
+        let d = ctx.server.create_door(Arc::new(Echo))?;
+        Ok(Message {
+            doors: vec![d],
+            ..Message::default()
+        })
+    }
+}
+
+#[test]
+fn failed_same_node_ship_releases_every_identifier() {
+    let net = Network::new(NetConfig::default());
+    let a = net.add_node("a");
+    let from = a.kernel().create_domain("from");
+    let to = a.kernel().create_domain("to");
+    let d1 = from.create_door(Arc::new(Echo)).unwrap();
+    let d2 = from.create_door(Arc::new(Echo)).unwrap();
+
+    let before = live_ids(a.kernel());
+    // Mid-stream failure: a valid identifier lands in the receiver, then a
+    // stale one fails the transfer, leaving a third still unsent. Nothing
+    // from the lost message may stay behind in either domain.
+    let ok1 = from.copy_door(d1).unwrap();
+    let stale = from.copy_door(d1).unwrap();
+    from.delete_door(stale).unwrap();
+    let ok2 = from.copy_door(d2).unwrap();
+    let msg = Message {
+        doors: vec![ok1, stale, ok2],
+        ..Message::default()
+    };
+    assert!(net.ship_message(&from, &to, msg).is_err());
+    assert_eq!(
+        live_ids(a.kernel()),
+        before,
+        "a failed same-node ship must release both landed and unsent identifiers",
+    );
+}
+
+#[test]
+fn lost_call_attempts_do_not_pin_argument_exports() {
+    let net = Network::new(NetConfig::default());
+    let a = net.add_node("a");
+    let b = net.add_node("b");
+    let server = b.kernel().create_domain("server");
+    let client = a.kernel().create_domain("client");
+    let door = server.create_door(Arc::new(Echo)).unwrap();
+    let arrived = net
+        .ship_message(
+            &server,
+            &client,
+            Message {
+                doors: vec![door],
+                ..Message::default()
+            },
+        )
+        .unwrap();
+    let proxy = arrived.doors[0];
+
+    let before = live_ids(a.kernel());
+    net.set_config(NetConfig {
+        drop_prob: 1.0,
+        ..NetConfig::default()
+    });
+    // Every attempt carries a door argument; every attempt is lost before
+    // leaving the node. Each one exports (pins) the argument door in the
+    // network server — the rollback must release it again.
+    for _ in 0..8 {
+        let arg = client.create_door(Arc::new(Echo)).unwrap();
+        let msg = Message {
+            bytes: vec![1],
+            doors: vec![arg],
+            ..Message::default()
+        };
+        assert!(client.call(proxy, msg).is_err());
+    }
+    net.set_config(NetConfig::default());
+    assert_eq!(
+        live_ids(a.kernel()),
+        before,
+        "every lost call attempt must release the argument exports it pinned",
+    );
+}
+
+#[test]
+fn lost_reply_does_not_pin_reply_exports() {
+    // The network RNG is rolled once per lossy hop, call hop first. Scan
+    // for a seed whose first roll survives and whose second drops, so
+    // exactly the reply is lost — deterministically.
+    let mut seed = 0u64;
+    loop {
+        let mut rng = spring_kernel::FaultRng::seed_from_u64(seed);
+        if rng.unit_f64() >= 0.5 && rng.unit_f64() < 0.5 {
+            break;
+        }
+        seed += 1;
+    }
+
+    let net = Network::new(NetConfig::default());
+    let a = net.add_node("a");
+    let b = net.add_node("b");
+    let server = b.kernel().create_domain("server");
+    let client = a.kernel().create_domain("client");
+    let door = server.create_door(Arc::new(DoorMaker)).unwrap();
+    let arrived = net
+        .ship_message(
+            &server,
+            &client,
+            Message {
+                doors: vec![door],
+                ..Message::default()
+            },
+        )
+        .unwrap();
+    let proxy = arrived.doors[0];
+
+    let before = live_ids(b.kernel());
+    net.reseed(seed);
+    net.set_config(NetConfig {
+        drop_prob: 0.5,
+        ..NetConfig::default()
+    });
+    // The call executes (mints a reply door) and the reply is dropped on
+    // the wire: the serving node must release the export it just pinned,
+    // which also destroys the now-unreferenced reply door.
+    assert!(client.call(proxy, Message::new()).is_err());
+    net.set_config(NetConfig::default());
+    assert_eq!(
+        live_ids(b.kernel()),
+        before,
+        "a reply lost on the wire must not strand its exported doors",
+    );
+}
+
+#[test]
+fn partition_during_execution_does_not_strand_reply_doors() {
+    /// Cuts the network mid-call, so the reply finds its link gone.
+    struct Partitioner {
+        net: Arc<Network>,
+        a: spring_kernel::NodeId,
+        b: spring_kernel::NodeId,
+    }
+
+    impl DoorHandler for Partitioner {
+        fn invoke(&self, ctx: &CallCtx, _msg: Message) -> Result<Message, DoorError> {
+            self.net.partition(self.a, self.b);
+            let d = ctx.server.create_door(Arc::new(Echo))?;
+            Ok(Message {
+                doors: vec![d],
+                ..Message::default()
+            })
+        }
+    }
+
+    let net = Network::new(NetConfig::default());
+    let a = net.add_node("a");
+    let b = net.add_node("b");
+    let server = b.kernel().create_domain("server");
+    let client = a.kernel().create_domain("client");
+    let door = server
+        .create_door(Arc::new(Partitioner {
+            net: net.clone(),
+            a: a.id(),
+            b: b.id(),
+        }))
+        .unwrap();
+    let arrived = net
+        .ship_message(
+            &server,
+            &client,
+            Message {
+                doors: vec![door],
+                ..Message::default()
+            },
+        )
+        .unwrap();
+    let proxy = arrived.doors[0];
+
+    let before = live_ids(b.kernel());
+    assert!(client.call(proxy, Message::new()).is_err());
+    assert_eq!(
+        live_ids(b.kernel()),
+        before,
+        "a reply blocked by a partition must release its identifiers",
+    );
+}

@@ -76,6 +76,7 @@ impl Caching {
         let handler = Arc::new(DirectHandler {
             ctx: ctx.clone(),
             disp,
+            dedup: crate::dedup::ReplyCache::default(),
         });
         let d1 = ctx.domain().create_door(handler)?;
         // The exporting server needs no cache to reach itself: its D2 is a
@@ -99,6 +100,8 @@ impl Caching {
 pub(crate) struct DirectHandler {
     pub(crate) ctx: Arc<DomainCtx>,
     pub(crate) disp: Arc<dyn Dispatch>,
+    /// At-most-once reply cache; identity-free calls bypass it.
+    pub(crate) dedup: crate::dedup::ReplyCache,
 }
 
 impl DoorHandler for DirectHandler {
@@ -111,23 +114,25 @@ impl DoorHandler for DirectHandler {
         cctx: &CallCtx,
         msg: Message,
     ) -> std::result::Result<Message, spring_kernel::DoorError> {
-        let mut span = spring_trace::span_start(
-            "caching.serve",
-            self.ctx.domain().trace_scope(),
-            Caching::ID.raw(),
-        );
-        let mut args = CommBuffer::from_message(msg);
-        let mut reply = CommBuffer::new();
-        let sctx = ServerCtx {
-            ctx: self.ctx.clone(),
-            caller: cctx.caller,
-        };
-        let result = server_dispatch(&sctx, &*self.disp, &mut args, &mut reply);
-        if result.is_err() {
-            span.fail();
-        }
-        result?;
-        Ok(reply.into_message())
+        self.dedup.serve(msg, |msg| {
+            let mut span = spring_trace::span_start(
+                "caching.serve",
+                self.ctx.domain().trace_scope(),
+                Caching::ID.raw(),
+            );
+            let mut args = CommBuffer::from_message(msg);
+            let mut reply = CommBuffer::new();
+            let sctx = ServerCtx {
+                ctx: self.ctx.clone(),
+                caller: cctx.caller,
+            };
+            let result = server_dispatch(&sctx, &*self.disp, &mut args, &mut reply);
+            if result.is_err() {
+                span.fail();
+            }
+            result?;
+            Ok(reply.into_message())
+        })
     }
 }
 

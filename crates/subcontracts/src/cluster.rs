@@ -62,6 +62,8 @@ pub struct ClusterServer {
 struct ClusterHandler {
     ctx: Arc<DomainCtx>,
     table: Arc<RwLock<ClusterTable>>,
+    /// At-most-once reply cache; identity-free calls bypass it.
+    dedup: crate::dedup::ReplyCache,
 }
 
 impl DoorHandler for ClusterHandler {
@@ -70,37 +72,39 @@ impl DoorHandler for ClusterHandler {
         cctx: &CallCtx,
         msg: Message,
     ) -> std::result::Result<Message, spring_kernel::DoorError> {
-        let mut span = spring_trace::span_start(
-            "cluster.serve",
-            self.ctx.domain().trace_scope(),
-            Cluster::ID.raw(),
-        );
-        let mut args = CommBuffer::from_message(msg);
-        let result = (|| {
-            let tag = args
-                .get_u32()
-                .map_err(|e| spring_kernel::DoorError::Handler(format!("bad cluster tag: {e}")))?;
-            // A revoked tag behaves like a revoked door: the call fails, the
-            // identifier survives (§5.2.3).
-            let disp = self
-                .table
-                .read()
-                .by_tag
-                .get(&tag)
-                .cloned()
-                .ok_or(spring_kernel::DoorError::Revoked)?;
-            let mut reply = CommBuffer::new();
-            let sctx = ServerCtx {
-                ctx: self.ctx.clone(),
-                caller: cctx.caller,
-            };
-            server_dispatch(&sctx, &*disp, &mut args, &mut reply)?;
-            Ok(reply.into_message())
-        })();
-        if result.is_err() {
-            span.fail();
-        }
-        result
+        self.dedup.serve(msg, |msg| {
+            let mut span = spring_trace::span_start(
+                "cluster.serve",
+                self.ctx.domain().trace_scope(),
+                Cluster::ID.raw(),
+            );
+            let mut args = CommBuffer::from_message(msg);
+            let result = (|| {
+                let tag = args.get_u32().map_err(|e| {
+                    spring_kernel::DoorError::Handler(format!("bad cluster tag: {e}"))
+                })?;
+                // A revoked tag behaves like a revoked door: the call fails,
+                // the identifier survives (§5.2.3).
+                let disp = self
+                    .table
+                    .read()
+                    .by_tag
+                    .get(&tag)
+                    .cloned()
+                    .ok_or(spring_kernel::DoorError::Revoked)?;
+                let mut reply = CommBuffer::new();
+                let sctx = ServerCtx {
+                    ctx: self.ctx.clone(),
+                    caller: cctx.caller,
+                };
+                server_dispatch(&sctx, &*disp, &mut args, &mut reply)?;
+                Ok(reply.into_message())
+            })();
+            if result.is_err() {
+                span.fail();
+            }
+            result
+        })
     }
 }
 
@@ -115,6 +119,7 @@ impl ClusterServer {
         let handler = Arc::new(ClusterHandler {
             ctx: ctx.clone(),
             table: table.clone(),
+            dedup: crate::dedup::ReplyCache::default(),
         });
         let master = ctx.domain().create_door(handler)?;
         Ok(Arc::new(ClusterServer {

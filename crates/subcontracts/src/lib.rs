@@ -32,9 +32,11 @@
 
 pub mod caching;
 pub mod cluster;
+pub mod dedup;
 pub mod priority;
 pub mod reconnectable;
 pub mod replicon;
+pub mod retry;
 pub mod shmem;
 pub mod simplex;
 pub mod singleton;
@@ -45,9 +47,11 @@ mod setup;
 
 pub use caching::{CacheManager, Caching};
 pub use cluster::{Cluster, ClusterServer};
+pub use dedup::{DedupStats, ReplyCache};
 pub use priority::Priority;
-pub use reconnectable::{Reconnectable, RetryPolicy};
+pub use reconnectable::Reconnectable;
 pub use replicon::{ReplicaGroup, Replicon, RepliconServer};
+pub use retry::{Invocation, RetryPolicy};
 pub use setup::{
     extensions_library, register_standard, standard_library, STANDARD_SUBCONTRACT_NAMES,
 };

@@ -10,7 +10,6 @@
 //! getting a new valid object."
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use parking_lot::Mutex;
 use spring_buf::CommBuffer;
@@ -21,24 +20,9 @@ use subcontract::{
 };
 
 use crate::caching::DirectHandler;
+use crate::retry::Invocation;
 
-/// How persistently the subcontract tries to reconnect.
-#[derive(Clone, Copy, Debug)]
-pub struct RetryPolicy {
-    /// Maximum reconnect attempts per invocation before giving up.
-    pub max_attempts: u32,
-    /// Delay between reconnect attempts ("retries periodically").
-    pub interval: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 8,
-            interval: Duration::from_millis(10),
-        }
-    }
-}
+pub use crate::retry::RetryPolicy;
 
 /// Client representation: the current door plus the object's name.
 #[derive(Debug)]
@@ -81,6 +65,7 @@ impl Reconnectable {
         let handler = Arc::new(DirectHandler {
             ctx: ctx.clone(),
             disp,
+            dedup: crate::dedup::ReplyCache::default(),
         });
         let door = ctx.domain().create_door(handler)?;
         Ok(SpringObj::assemble(
@@ -99,6 +84,17 @@ impl Reconnectable {
     /// disassembled, not consumed, so its door identifier survives.
     fn adopt_door(resolved: SpringObj) -> Result<DoorId> {
         let sc_id = resolved.subcontract().id();
+        if sc_id != Self::ID
+            && sc_id != crate::singleton::Singleton::ID
+            && sc_id != crate::simplex::Simplex::ID
+        {
+            // Return before disassembly: dropping `resolved` whole runs its
+            // subcontract's consume, so the unadoptable object's doors are
+            // released instead of leaking with its discarded parts.
+            return Err(SpringError::Unsupported(
+                "reconnectable can only adopt single-door objects",
+            ));
+        }
         let (_ctx, _sc, parts) = resolved.into_parts();
         if sc_id == Self::ID {
             let repr = parts.repr.into_downcast::<ReconRepr>("reconnectable")?;
@@ -108,16 +104,12 @@ impl Reconnectable {
                 .repr
                 .into_downcast::<crate::singleton::SingletonRepr>("singleton")?
                 .door)
-        } else if sc_id == crate::simplex::Simplex::ID {
+        } else {
             parts
                 .repr
                 .into_downcast::<crate::simplex::SimplexRepr>("simplex")?
                 .remote_door()
                 .ok_or(SpringError::Unsupported("resolved object has no door"))
-        } else {
-            Err(SpringError::Unsupported(
-                "reconnectable can only adopt single-door objects",
-            ))
         }
     }
 }
@@ -137,18 +129,25 @@ impl Subcontract for Reconnectable {
         let msg = call.into_message();
         let (bytes, arg_doors, trace) = (msg.bytes, msg.doors, msg.trace);
 
-        let mut reconnects = 0u32;
+        // One logical call: every attempt shares the nonce (so the server's
+        // reply cache deduplicates a reply lost in flight) and the deadline.
+        let mut inv = Invocation::begin(self.policy);
         loop {
             let door = *repr.door.lock();
             let attempt = Message {
                 bytes: bytes.clone(),
                 doors: arg_doors.clone(),
                 trace,
+                call: inv.call_id(),
             };
-            // One span per attempt, so a reconnect reads as a failed sibling
-            // plus the retry that succeeded.
-            let mut attempt_span =
-                spring_trace::span_start("reconnectable.attempt", domain.trace_scope(), 0);
+            // One span per attempt, tagged with the attempt number, so a
+            // reconnect reads as a failed sibling plus the retry that
+            // succeeded.
+            let mut attempt_span = spring_trace::span_start(
+                "reconnectable.attempt",
+                domain.trace_scope(),
+                inv.attempt() as u64,
+            );
             let outcome = domain.call(door, attempt);
             if outcome.is_err() {
                 attempt_span.fail();
@@ -157,20 +156,22 @@ impl Subcontract for Reconnectable {
             match outcome {
                 Ok(reply) => return Ok(CommBuffer::from_message(reply)),
                 Err(e) if e.is_comm_failure() => {
-                    reconnects += 1;
-                    if reconnects > self.policy.max_attempts {
-                        return Err(SpringError::Exhausted("reconnect attempts"));
-                    }
-                    std::thread::sleep(self.policy.interval);
+                    inv.backoff()?;
                     // Re-resolve the object name to obtain a new object and
                     // retry the operation on that (§8.3).
                     let resolver = obj.ctx().resolver()?;
                     match resolver.resolve(&repr.name, obj.type_info()) {
-                        Ok(fresh) => {
-                            let new_door = Self::adopt_door(fresh)?;
-                            let old = std::mem::replace(&mut *repr.door.lock(), new_door);
-                            let _ = domain.delete_door(old);
-                        }
+                        Ok(fresh) => match Self::adopt_door(fresh) {
+                            Ok(new_door) => {
+                                let old = std::mem::replace(&mut *repr.door.lock(), new_door);
+                                let _ = domain.delete_door(old);
+                            }
+                            // An unadoptable binding is a failed attempt,
+                            // not the end of the invocation: whoever bound
+                            // it may rebind something usable before the
+                            // retry budget runs out.
+                            Err(_) => continue,
+                        },
                         // The server is still down; keep retrying.
                         Err(_) => continue,
                     }

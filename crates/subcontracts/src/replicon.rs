@@ -22,11 +22,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use spring_buf::CommBuffer;
-use spring_kernel::{CallCtx, DoorHandler, DoorId, Message};
+use spring_kernel::{CallCtx, DoorError, DoorHandler, DoorId, Message};
 use subcontract::{
     get_obj_header, put_obj_header, redispatch_if_foreign, server_dispatch, Dispatch, DomainCtx,
     ObjParts, Repr, Result, ScId, ServerCtx, SpringError, SpringObj, Subcontract, TypeInfo,
 };
+
+use crate::dedup::ReplyCache;
+use crate::retry::{Invocation, RetryPolicy};
 
 /// Reply control flag: the client's replica set is current.
 const CTRL_CURRENT: u8 = 0;
@@ -47,7 +50,9 @@ struct ReplicaState {
 
 /// The replicon subcontract (client side).
 #[derive(Debug, Default)]
-pub struct Replicon;
+pub struct Replicon {
+    policy: RetryPolicy,
+}
 
 impl Replicon {
     /// The identifier carried in replicon objects' marshalled form.
@@ -55,7 +60,14 @@ impl Replicon {
 
     /// Creates the subcontract instance to register in a domain.
     pub fn new() -> Arc<Replicon> {
-        Arc::new(Replicon)
+        Arc::new(Replicon::default())
+    }
+
+    /// Creates the subcontract instance with a custom retry policy
+    /// (pacing for transient-loss retries; replica failover itself is
+    /// immediate and not budgeted).
+    pub fn with_policy(policy: RetryPolicy) -> Arc<Replicon> {
+        Arc::new(Replicon { policy })
     }
 
     /// Number of door identifiers a replicon object currently holds
@@ -95,6 +107,10 @@ impl Subcontract for Replicon {
         let msg = call.into_message();
         let (bytes, arg_doors, trace) = (msg.bytes, msg.doors, msg.trace);
 
+        // One logical call across every failover and retry: all attempts
+        // share the nonce, so whichever replica executed the first attempt
+        // can be recognized through the group's shared reply cache.
+        let mut inv = Invocation::begin(self.policy);
         loop {
             // Snapshot the first target under the lock; call outside it.
             let target = match repr.state.lock().doors.first() {
@@ -105,11 +121,16 @@ impl Subcontract for Replicon {
                 bytes: bytes.clone(),
                 doors: arg_doors.clone(),
                 trace,
+                call: inv.call_id(),
             };
-            // One span per attempt: a failover shows up in the trace as a
-            // failed sibling followed by the successful retry.
-            let mut attempt_span =
-                spring_trace::span_start("replicon.attempt", domain.trace_scope(), 0);
+            // One span per attempt, tagged with the attempt number: a
+            // failover shows up in the trace as a failed sibling followed
+            // by the successful retry.
+            let mut attempt_span = spring_trace::span_start(
+                "replicon.attempt",
+                domain.trace_scope(),
+                inv.attempt() as u64,
+            );
             let outcome = domain.call(target, attempt);
             if outcome.is_err() {
                 attempt_span.fail();
@@ -121,9 +142,25 @@ impl Subcontract for Replicon {
                     self.absorb_reply_control(obj, &mut reply)?;
                     return Ok(reply);
                 }
+                Err(DoorError::Comm(_)) => {
+                    // Transient network failure: the replica behind the
+                    // door may be healthy — and may already have executed
+                    // this call. Keep the identifier, rotate it to the back
+                    // of the set, and retry after a backoff against the
+                    // attempt/deadline budget.
+                    let mut state = repr.state.lock();
+                    if let Some(pos) = state.doors.iter().position(|d| *d == target) {
+                        let d = state.doors.remove(pos);
+                        state.doors.push(d);
+                    }
+                    drop(state);
+                    inv.backoff()?;
+                }
                 Err(e) if e.is_comm_failure() => {
-                    // Delete the dead door identifier from the target set
-                    // and try the next one.
+                    // The replica itself is gone (door revoked, domain
+                    // dead): delete the dead door identifier from the
+                    // target set and fail over to the next one immediately
+                    // (§5.1.3).
                     let mut state = repr.state.lock();
                     if let Some(pos) = state.doors.iter().position(|d| *d == target) {
                         state.doors.remove(pos);
@@ -269,16 +306,34 @@ pub struct RepliconServer {
     /// The server's own identifier for its own door.
     master: DoorId,
     membership: Arc<Mutex<Membership>>,
+    /// Replaceable reply-cache slot, shared with the door handler. Joining
+    /// a [`ReplicaGroup`] points it at the *group's* cache: a retried call
+    /// that fails over to a sibling replica must still be recognized as a
+    /// duplicate, which is part of the state synchronization the paper
+    /// leaves to the servers.
+    dedup: Arc<Mutex<Arc<ReplyCache>>>,
 }
 
 struct RepliconHandler {
     ctx: Arc<DomainCtx>,
     disp: Arc<dyn Dispatch>,
     membership: Arc<Mutex<Membership>>,
+    dedup: Arc<Mutex<Arc<ReplyCache>>>,
 }
 
 impl DoorHandler for RepliconHandler {
     fn invoke(
+        &self,
+        cctx: &CallCtx,
+        msg: Message,
+    ) -> std::result::Result<Message, spring_kernel::DoorError> {
+        let cache = self.dedup.lock().clone();
+        cache.serve(msg, |msg| self.execute(cctx, msg))
+    }
+}
+
+impl RepliconHandler {
+    fn execute(
         &self,
         cctx: &CallCtx,
         msg: Message,
@@ -325,10 +380,12 @@ impl RepliconServer {
             epoch: 0,
             members: Vec::new(),
         }));
+        let dedup = Arc::new(Mutex::new(Arc::new(ReplyCache::default())));
         let handler = Arc::new(RepliconHandler {
             ctx: ctx.clone(),
             disp: disp.clone(),
             membership: membership.clone(),
+            dedup: dedup.clone(),
         });
         let master = ctx.domain().create_door(handler)?;
         Ok(Arc::new(RepliconServer {
@@ -336,12 +393,19 @@ impl RepliconServer {
             disp,
             master,
             membership,
+            dedup,
         }))
     }
 
     /// The serving domain's context.
     pub fn ctx(&self) -> &Arc<DomainCtx> {
         &self.ctx
+    }
+
+    /// Counter snapshot of the reply cache this replica currently serves
+    /// from (the group-wide cache once the replica has joined a group).
+    pub fn dedup_stats(&self) -> crate::dedup::DedupStats {
+        self.dedup.lock().stats()
     }
 
     /// True while the serving domain is alive.
@@ -361,6 +425,9 @@ impl RepliconServer {
 pub struct ReplicaGroup {
     inner: Mutex<GroupInner>,
     transport: Arc<dyn subcontract::Transport>,
+    /// The group-wide reply cache every member serves from, so duplicate
+    /// suppression survives failover between replicas.
+    dedup: Arc<ReplyCache>,
 }
 
 impl Default for ReplicaGroup {
@@ -387,6 +454,7 @@ impl ReplicaGroup {
         ReplicaGroup {
             inner: Mutex::new(GroupInner::default()),
             transport,
+            dedup: Arc::new(ReplyCache::default()),
         }
     }
 
@@ -406,8 +474,11 @@ impl ReplicaGroup {
             .ok_or(SpringError::Exhausted("transport dropped the identifier"))
     }
 
-    /// Adds a replica and redistributes membership.
+    /// Adds a replica and redistributes membership. The joining replica is
+    /// switched onto the group's shared reply cache, so a client retry that
+    /// lands on a different member still deduplicates.
     pub fn add(&self, server: Arc<RepliconServer>) -> Result<()> {
+        *server.dedup.lock() = self.dedup.clone();
         let mut inner = self.inner.lock();
         inner.servers.push(server);
         self.redistribute(&mut inner)

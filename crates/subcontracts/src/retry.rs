@@ -1,0 +1,188 @@
+//! Shared retry engine: call identity, deadline, exponential backoff.
+//!
+//! Both retrying subcontracts — reconnectable (§8.3, "retries periodically
+//! until it succeeds") and replicon (§5.1.3, try the next replica on a
+//! communications error) — share one attempt-budget discipline here. An
+//! [`Invocation`] names one *logical* call: it allocates the nonce every
+//! attempt is stamped with (so the server's reply cache can deduplicate,
+//! see [`crate::dedup`]), fixes the absolute deadline the whole invocation
+//! must finish by, and paces retries with exponentially growing, jittered
+//! sleeps so a herd of retrying clients does not hammer a recovering
+//! server in lockstep.
+
+use std::time::Duration;
+
+use spring_kernel::callid::{deadline_after, next_nonce, now_micros};
+use spring_kernel::{CallId, FaultRng};
+use subcontract::SpringError;
+
+/// How persistently a retrying subcontract re-attempts one invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum retries per invocation after the initial attempt.
+    pub max_attempts: u32,
+    /// Delay before the first retry ("retries periodically"); doubles —
+    /// or grows by [`RetryPolicy::multiplier`] — on each further retry.
+    pub interval: Duration,
+    /// Ceiling on the per-retry delay once backoff has grown it.
+    pub max_interval: Duration,
+    /// Backoff growth factor between consecutive retries.
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a random
+    /// factor in `[1 - jitter, 1 + jitter]` to de-synchronize retrying
+    /// clients.
+    pub jitter: f64,
+    /// Wall-clock budget for the whole invocation, carried in the call
+    /// envelope as an absolute deadline: the client stops retrying past
+    /// it and servers refuse to *start* executing an expired call.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            interval: Duration::from_millis(10),
+            max_interval: Duration::from_millis(200),
+            multiplier: 2.0,
+            jitter: 0.5,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One logical invocation's retry state: identity, budget, pacing.
+#[derive(Debug)]
+pub struct Invocation {
+    nonce: u64,
+    deadline_micros: u64,
+    policy: RetryPolicy,
+    /// Attempt number stamped on the next transmission (starts at 1).
+    attempt: u32,
+    /// The next backoff sleep, before jitter and the interval ceiling.
+    next_delay: Duration,
+    rng: FaultRng,
+}
+
+impl Invocation {
+    /// Begins a logical invocation: fresh nonce, deadline anchored now.
+    pub fn begin(policy: RetryPolicy) -> Invocation {
+        let nonce = next_nonce();
+        Invocation {
+            nonce,
+            deadline_micros: deadline_after(policy.deadline),
+            policy,
+            attempt: 1,
+            next_delay: policy.interval,
+            // Jitter only needs de-synchronization, not secrecy; seeding
+            // from the nonce keeps every run reproducible.
+            rng: FaultRng::seed_from_u64(nonce),
+        }
+    }
+
+    /// The identity to stamp on the current attempt's call envelope.
+    pub fn call_id(&self) -> CallId {
+        CallId {
+            nonce: self.nonce,
+            attempt: self.attempt,
+            deadline_micros: self.deadline_micros,
+        }
+    }
+
+    /// The current attempt number (1 for the initial transmission).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Records a failed attempt and sleeps the backoff delay before the
+    /// next one. Returns `Err(Exhausted)` when the retry budget or the
+    /// invocation deadline is spent — retrying past either would waste
+    /// work the server is already refusing.
+    pub fn backoff(&mut self) -> Result<(), SpringError> {
+        if self.attempt > self.policy.max_attempts {
+            return Err(SpringError::Exhausted("retry attempts"));
+        }
+        self.attempt += 1;
+        let remaining_micros = self.deadline_micros.saturating_sub(now_micros());
+        if remaining_micros == 0 {
+            return Err(SpringError::Exhausted("invocation deadline"));
+        }
+        let mut delay = self.next_delay.min(self.policy.max_interval);
+        self.next_delay = self.next_delay.mul_f64(self.policy.multiplier.max(1.0));
+        if self.policy.jitter > 0.0 {
+            let spread = self.policy.jitter.clamp(0.0, 1.0);
+            delay = delay.mul_f64(1.0 - spread + 2.0 * spread * self.rng.unit_f64());
+        }
+        // Never sleep past the deadline itself.
+        delay = delay.min(Duration::from_micros(remaining_micros));
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            interval: Duration::from_micros(50),
+            max_interval: Duration::from_micros(200),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn attempts_share_the_nonce_and_count_up() {
+        let mut inv = Invocation::begin(fast_policy());
+        let first = inv.call_id();
+        assert!(first.is_some());
+        assert_eq!(first.attempt, 1);
+        inv.backoff().unwrap();
+        let second = inv.call_id();
+        assert_eq!(second.nonce, first.nonce);
+        assert_eq!(second.attempt, 2);
+        assert_eq!(second.deadline_micros, first.deadline_micros);
+    }
+
+    #[test]
+    fn budget_exhausts_after_max_attempts() {
+        let mut inv = Invocation::begin(fast_policy());
+        for _ in 0..3 {
+            inv.backoff().unwrap();
+        }
+        assert!(matches!(inv.backoff(), Err(SpringError::Exhausted(_))));
+    }
+
+    #[test]
+    fn deadline_exhausts_before_budget() {
+        let mut inv = Invocation::begin(RetryPolicy {
+            max_attempts: 1_000,
+            interval: Duration::from_micros(100),
+            deadline: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        });
+        let mut spent = 0;
+        loop {
+            match inv.backoff() {
+                Ok(()) => spent += 1,
+                Err(SpringError::Exhausted(what)) => {
+                    assert_eq!(what, "invocation deadline");
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(spent < 1_000, "deadline never tripped");
+        }
+    }
+
+    #[test]
+    fn distinct_invocations_get_distinct_nonces() {
+        let a = Invocation::begin(fast_policy());
+        let b = Invocation::begin(fast_policy());
+        assert_ne!(a.call_id().nonce, b.call_id().nonce);
+    }
+}

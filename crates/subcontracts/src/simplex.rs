@@ -110,6 +110,7 @@ impl Simplex {
         let handler = Arc::new(SimplexHandler {
             ctx: ctx.clone(),
             disp,
+            dedup: crate::dedup::ReplyCache::default(),
         });
         Ok(ctx.domain().create_door(handler)?)
     }
@@ -120,6 +121,8 @@ impl Simplex {
 struct SimplexHandler {
     ctx: Arc<DomainCtx>,
     disp: Arc<dyn Dispatch>,
+    /// At-most-once reply cache; identity-free calls bypass it.
+    dedup: crate::dedup::ReplyCache,
 }
 
 impl DoorHandler for SimplexHandler {
@@ -132,31 +135,33 @@ impl DoorHandler for SimplexHandler {
         cctx: &CallCtx,
         msg: Message,
     ) -> std::result::Result<Message, spring_kernel::DoorError> {
-        // Runs on the caller's (shuttled) thread inside the kernel's
-        // door_call span, so this parents under it automatically.
-        let mut span = spring_trace::span_start(
-            "simplex.serve",
-            self.ctx.domain().trace_scope(),
-            Simplex::ID.raw(),
-        );
-        let mut args = CommBuffer::from_message(msg);
-        let result = (|| {
-            let _flags = args.get_u8().map_err(|e| {
-                spring_kernel::DoorError::Handler(format!("bad control region: {e}"))
-            })?;
-            let mut reply = CommBuffer::pooled();
-            reply.put_u8(CTRL_NORMAL);
-            let sctx = ServerCtx {
-                ctx: self.ctx.clone(),
-                caller: cctx.caller,
-            };
-            server_dispatch(&sctx, &*self.disp, &mut args, &mut reply)?;
-            Ok(reply.into_message())
-        })();
-        if result.is_err() {
-            span.fail();
-        }
-        result
+        self.dedup.serve(msg, |msg| {
+            // Runs on the caller's (shuttled) thread inside the kernel's
+            // door_call span, so this parents under it automatically.
+            let mut span = spring_trace::span_start(
+                "simplex.serve",
+                self.ctx.domain().trace_scope(),
+                Simplex::ID.raw(),
+            );
+            let mut args = CommBuffer::from_message(msg);
+            let result = (|| {
+                let _flags = args.get_u8().map_err(|e| {
+                    spring_kernel::DoorError::Handler(format!("bad control region: {e}"))
+                })?;
+                let mut reply = CommBuffer::pooled();
+                reply.put_u8(CTRL_NORMAL);
+                let sctx = ServerCtx {
+                    ctx: self.ctx.clone(),
+                    caller: cctx.caller,
+                };
+                server_dispatch(&sctx, &*self.disp, &mut args, &mut reply)?;
+                Ok(reply.into_message())
+            })();
+            if result.is_err() {
+                span.fail();
+            }
+            result
+        })
     }
 }
 

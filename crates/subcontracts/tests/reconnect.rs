@@ -15,6 +15,7 @@ fn fast_policy() -> RetryPolicy {
     RetryPolicy {
         max_attempts: 10,
         interval: Duration::from_millis(1),
+        ..RetryPolicy::default()
     }
 }
 
@@ -97,6 +98,7 @@ fn gives_up_after_retry_budget() {
     let policy = RetryPolicy {
         max_attempts: 3,
         interval: Duration::from_millis(1),
+        ..RetryPolicy::default()
     };
     server.register_subcontract(Reconnectable::with_policy(policy));
     let obj = Reconnectable::export(&server, CounterServant::new(0), "svc/dead").unwrap();

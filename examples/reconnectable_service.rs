@@ -20,6 +20,7 @@ fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
     ctx.register_subcontract(Reconnectable::with_policy(RetryPolicy {
         max_attempts: 20,
         interval: Duration::from_millis(5),
+        ..RetryPolicy::default()
     }));
     spring::services::register_fs_types(&ctx);
     ctx

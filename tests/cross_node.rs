@@ -142,6 +142,7 @@ fn reconnect_through_real_naming_across_machines() {
     let policy = RetryPolicy {
         max_attempts: 20,
         interval: Duration::from_millis(2),
+        ..RetryPolicy::default()
     };
     let make_ctx = |kernel: &Kernel, name: &str| {
         let ctx = ctx_on(kernel, name);

@@ -65,6 +65,7 @@ fn ctx_on(kernel: &Kernel, name: &str) -> Arc<DomainCtx> {
     ctx.register_subcontract(Reconnectable::with_policy(RetryPolicy {
         max_attempts: 4,
         interval: Duration::from_millis(1),
+        ..RetryPolicy::default()
     }));
     ctx
 }
