@@ -10,14 +10,16 @@
 //! Flags:
 //!
 //! * `--quick` — fewer iterations per timed loop (local sanity runs).
-//! * `--smoke` — E1/E1t only, with tiny iteration counts; the CI
+//! * `--smoke` — E1/E1t/E4 only, with tiny iteration counts; the CI
 //!   per-push mode whose sole purpose is producing `BENCH_e1.json` /
-//!   `BENCH_e1t.json` and proving the harness still runs.
+//!   `BENCH_e1t.json` / `BENCH_e4.json` and proving the harness still
+//!   runs.
 //! * `--trace` — enable distributed tracing for the run, so the JSON
 //!   output carries per-subcontract latency histograms (slower; not the
 //!   configuration EXPERIMENTS.md records).
-//! * `--json-dir DIR` — write the machine-readable results of E1 and E1t
-//!   to `DIR/BENCH_e1.json` and `DIR/BENCH_e1t.json`.
+//! * `--json-dir DIR` — write the machine-readable results of E1, E1t and
+//!   E4 to `DIR/BENCH_e1.json`, `DIR/BENCH_e1t.json` and
+//!   `DIR/BENCH_e4.json`.
 
 use spring_bench::report;
 use spring_trace::json::Json;
@@ -59,11 +61,11 @@ fn main() {
 
     let e1 = report::e1_null_call(iters);
     let e1t = report::e1_threaded(if smoke { 200 } else { iters });
+    let e4 = report::e4_caching(smoke || quick);
 
     if !smoke {
         report::e2_transmit(iters);
         report::e3_cluster();
-        report::e4_caching();
         report::e4b_unmarshal_overhead(iters);
         report::e5_replicon(iters);
         report::e6_reconnect();
@@ -78,6 +80,7 @@ fn main() {
     if let Some(dir) = json_dir {
         write_json(&dir, "BENCH_e1.json", &e1);
         write_json(&dir, "BENCH_e1t.json", &e1t);
+        write_json(&dir, "BENCH_e4.json", &e4);
     }
 
     println!();

@@ -407,15 +407,28 @@ pub fn e3_cluster() {
     println!("(cluster's door count is O(1); per-object cost is an identifier + a tag)");
 }
 
-/// E4 — §8.2/§9.3: caching pays at unmarshal, wins on repeated reads.
-pub fn e4_caching() {
+/// E4 — §8.2/§9.3: caching pays at unmarshal, wins on repeated reads; the
+/// coherent arm prices invalidation callbacks + leases against the
+/// incoherent cache on a read-mostly workload and measures how long a
+/// write takes to become visible on another machine.
+///
+/// Returns the measurements as a [`Json`] record; the `report` binary
+/// writes it to `BENCH_e4.json` when `--json-dir` is given.
+pub fn e4_caching(quick: bool) -> Json {
     header("E4: caching vs simplex over the network (paper §8.2, §9.3)");
     println!(
         "{:>10} {:>6} {:>14} {:>14} {:>10} {:>10}",
         "latency", "reads", "simplex", "caching", "sx msgs", "ca msgs"
     );
-    for latency_us in [0u64, 100, 1000] {
-        for k in [1u32, 4, 16, 64, 256] {
+    let latencies: &[u64] = if quick { &[0] } else { &[0, 100, 1000] };
+    let read_counts: &[u32] = if quick {
+        &[1, 16, 64]
+    } else {
+        &[1, 4, 16, 64, 256]
+    };
+    let mut sweep_rows = Vec::new();
+    for &latency_us in latencies {
+        for &k in read_counts {
             let net = Network::new(NetConfig::with_latency(Duration::from_micros(latency_us)));
             let server_node = net.add_node("server");
             let client_node = net.add_node("client");
@@ -501,9 +514,179 @@ pub fn e4_caching() {
                 sx_msgs,
                 ca_msgs
             );
+            sweep_rows.push(Json::obj([
+                ("latency_us", Json::from(latency_us)),
+                ("reads", Json::from(k as u64)),
+                ("simplex_ns", Json::from(simplex_time.as_nanos() as f64)),
+                ("caching_ns", Json::from(caching_time.as_nanos() as f64)),
+                ("simplex_msgs", Json::from(sx_msgs)),
+                ("caching_msgs", Json::from(ca_msgs)),
+            ]));
         }
     }
     println!("(caching messages stay flat in K: only the first read misses)");
+
+    let coherent = e4_coherent(quick);
+    Json::obj([
+        ("experiment", Json::from("e4_caching")),
+        ("paper_sections", Json::from("8.2, 9.3")),
+        ("sweep", Json::Arr(sweep_rows)),
+        ("coherent", coherent),
+        ("tracing", tracing_json()),
+    ])
+}
+
+/// Builds one machine of the coherent-caching topology: a cache manager
+/// plus a resolver that hands out copies of it under `cache_manager`.
+fn e4_cache_machine(net: &Arc<Network>, node: &spring_net::Node, tag: &str) -> Arc<DomainCtx> {
+    let client_ctx = ctx_on(node.kernel(), &format!("client-{tag}"));
+    let mgr_ctx = ctx_on(node.kernel(), &format!("manager-{tag}"));
+    let manager = file_cache_manager(&mgr_ctx);
+    struct OneName {
+        net: Arc<Network>,
+        obj: SpringObj,
+        ctx: Arc<DomainCtx>,
+    }
+    impl subcontract::Resolver for OneName {
+        fn resolve(
+            &self,
+            name: &str,
+            expected: &'static subcontract::TypeInfo,
+        ) -> subcontract::Result<SpringObj> {
+            if name == "cache_manager" {
+                ship_object_copy(&*self.net, &self.obj, &self.ctx, expected)
+            } else {
+                Err(subcontract::SpringError::ResolveFailed(name.to_owned()))
+            }
+        }
+    }
+    client_ctx.set_resolver(Arc::new(OneName {
+        net: net.clone(),
+        obj: manager.export().unwrap(),
+        ctx: client_ctx.clone(),
+    }));
+    client_ctx
+}
+
+/// The coherent arm of E4: read-mostly throughput against the incoherent
+/// cache, and the latency for a write on one machine to become visible on
+/// another.
+fn e4_coherent(quick: bool) -> Json {
+    let lease = Duration::from_millis(5);
+    let reads: u64 = if quick { 20_000 } else { 200_000 };
+    let write_every: u64 = 1_000;
+    let trials: usize = if quick { 10 } else { 50 };
+
+    // Read-mostly throughput: one writer interleaved into a stream of
+    // cached reads, incoherent vs coherent attachment on the same topology.
+    let throughput = |coherent: bool| -> f64 {
+        let net = Network::new(NetConfig::default());
+        let server_node = net.add_node("server");
+        let client_node = net.add_node("client");
+        let server_ctx = ctx_on(server_node.kernel(), "fileserver");
+        let client_ctx = e4_cache_machine(&net, &client_node, "t");
+
+        let fileserver = FileServer::new(&server_ctx, "cache_manager");
+        fileserver.put("data", &vec![9u8; 4096]);
+        let obj = if coherent {
+            fileserver.export_coherent("data", lease).unwrap().0
+        } else {
+            fileserver.export_cacheable("data").unwrap()
+        };
+        let f = fs::CacheableFile::from_obj(
+            ship_object(&*net, obj, &client_ctx, &fs::CACHEABLE_FILE_TYPE).unwrap(),
+        )
+        .unwrap();
+        let _ = f.read(0, 1024).unwrap(); // warm the memo
+        let elapsed = time_once(|| {
+            for i in 0..reads {
+                let _ = f.read(0, 1024).unwrap();
+                if i % write_every == write_every - 1 {
+                    f.write(0, &i.to_le_bytes()).unwrap();
+                }
+            }
+        });
+        reads as f64 / elapsed.as_secs_f64()
+    };
+    let incoherent_rps = throughput(false);
+    let coherent_rps = throughput(true);
+    let ratio = coherent_rps / incoherent_rps;
+
+    // Invalidation propagation: write through machine A's cache, poll
+    // machine B until the new contents are served. The broadcast runs
+    // before the writer's reply, so this bounds the post-ack staleness
+    // window (≈ one revalidating read).
+    let net = Network::new(NetConfig::default());
+    let server_node = net.add_node("server");
+    let node_a = net.add_node("a");
+    let node_b = net.add_node("b");
+    let server_ctx = ctx_on(server_node.kernel(), "fileserver");
+    let ctx_a = e4_cache_machine(&net, &node_a, "a");
+    let ctx_b = e4_cache_machine(&net, &node_b, "b");
+
+    let fileserver = FileServer::new(&server_ctx, "cache_manager");
+    fileserver.put("data", &0u64.to_le_bytes());
+    let (obj, stats) = fileserver.export_coherent("data", lease).unwrap();
+    let attach = |ctx: &Arc<DomainCtx>| {
+        fs::CacheableFile::from_obj(
+            ship_object_copy(&*net, &obj, ctx, &fs::CACHEABLE_FILE_TYPE).unwrap(),
+        )
+        .unwrap()
+    };
+    let file_a = attach(&ctx_a);
+    let file_b = attach(&ctx_b);
+    let mut latencies_us = Vec::with_capacity(trials);
+    for t in 1..=trials as u64 {
+        let _ = file_b.read(0, 8).unwrap(); // make sure B is serving hits
+        file_a.write(0, &t.to_le_bytes()).unwrap();
+        let wrote = Instant::now();
+        loop {
+            let bytes = file_b.read(0, 8).unwrap();
+            if bytes == t.to_le_bytes() {
+                break;
+            }
+        }
+        latencies_us.push(wrote.elapsed().as_nanos() as f64 / 1e3);
+    }
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let mean = latencies_us.iter().sum::<f64>() / latencies_us.len() as f64;
+    let p95 = latencies_us[(latencies_us.len() * 95).div_ceil(100) - 1];
+
+    println!();
+    println!(
+        "coherent arm (lease {:?}, 1 write per {write_every} reads):",
+        lease
+    );
+    println!(
+        "  reads/s incoherent {incoherent_rps:>12.0}   coherent {coherent_rps:>12.0}   ratio {ratio:.3}"
+    );
+    println!(
+        "  invalidation visible on the other machine after: min {:.1}µs  mean {mean:.1}µs  \
+         p95 {p95:.1}µs  max {:.1}µs  ({trials} trials, {} broadcasts)",
+        latencies_us[0],
+        latencies_us[latencies_us.len() - 1],
+        stats.broadcasts(),
+    );
+
+    Json::obj([
+        ("lease_us", Json::from(lease.as_micros() as u64)),
+        ("reads", Json::from(reads)),
+        ("write_every", Json::from(write_every)),
+        ("incoherent_reads_per_sec", Json::from(incoherent_rps)),
+        ("coherent_reads_per_sec", Json::from(coherent_rps)),
+        ("throughput_ratio", Json::from(ratio)),
+        (
+            "invalidation_latency_us",
+            Json::obj([
+                ("trials", Json::from(trials)),
+                ("min", Json::from(latencies_us[0])),
+                ("mean", Json::from(mean)),
+                ("p95", Json::from(p95)),
+                ("max", Json::from(latencies_us[latencies_us.len() - 1])),
+            ]),
+        ),
+        ("broadcasts", Json::from(stats.broadcasts())),
+    ])
 }
 
 /// E5 — §5.1.3: replicon failover deletes dead doors and keeps serving.

@@ -119,8 +119,29 @@ impl NetworkInner {
 
             let home = self.server(target.origin)?;
             let door = home.export_target(target.export)?;
-            let delivered = home.from_wire(wire)?;
-            let reply = home.domain.call(door, delivered)?;
+            let delivered = match home.from_wire(wire) {
+                Ok(d) => d,
+                Err(e) => {
+                    // The call will never execute, so nothing can ever
+                    // reference the exports freshly pinned for it.
+                    from.unexport(&fresh);
+                    return Err(e);
+                }
+            };
+            // Snapshot the landed identifiers: if the kernel call fails
+            // before moving them into the serving domain they would be
+            // dropped undeleted. Slots are never reused, so the deletes are
+            // harmless no-ops when the handler did take ownership.
+            let delivered_doors = delivered.doors.clone();
+            let reply = match home.domain.call(door, delivered) {
+                Ok(r) => r,
+                Err(e) => {
+                    for d in delivered_doors {
+                        let _ = home.domain.delete_door(d);
+                    }
+                    return Err(e);
+                }
+            };
 
             // The reply travels back across the same link.
             if let Err(e) = self.check_link(target.origin, from.node.raw()) {

@@ -188,7 +188,8 @@ impl NetServer {
     pub fn to_wire_tracked(&self, msg: Message) -> Result<(WireMessage, Vec<u64>), DoorError> {
         let mut caps = Vec::with_capacity(msg.doors.len());
         let mut fresh = Vec::new();
-        for d in msg.doors {
+        let mut doors = msg.doors.into_iter();
+        for d in doors.by_ref() {
             match self.export_cap_tracked(d) {
                 Ok((cap, is_fresh)) => {
                     if is_fresh {
@@ -198,6 +199,12 @@ impl NetServer {
                 }
                 Err(e) => {
                     self.unexport(&fresh);
+                    // The failing identifier and the ones not yet exported
+                    // would otherwise be dropped undeleted.
+                    let _ = self.domain.delete_door(d);
+                    for rest in doors {
+                        let _ = self.domain.delete_door(rest);
+                    }
                     return Err(e);
                 }
             }
@@ -218,7 +225,17 @@ impl NetServer {
     pub fn from_wire(self: &Arc<Self>, wire: WireMessage) -> Result<Message, DoorError> {
         let mut doors = Vec::with_capacity(wire.caps.len());
         for cap in wire.caps {
-            doors.push(self.import_cap(cap)?);
+            match self.import_cap(cap) {
+                Ok(d) => doors.push(d),
+                Err(e) => {
+                    // Roll back the identifiers already issued for this
+                    // message; the call is not going to be delivered.
+                    for d in doors {
+                        let _ = self.domain.delete_door(d);
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(Message {
             bytes: wire.bytes,

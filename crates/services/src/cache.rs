@@ -7,20 +7,28 @@ use subcontract::DomainCtx;
 
 use crate::idl::fs;
 
+/// The read-only file operations a cache may answer locally. Shared by the
+/// machine-local manager ([`file_cache_manager`]) and the coherent server
+/// export ([`crate::FileServer::export_coherent`]), which must agree on
+/// which operations are mutating (epoch-bumping) and which are cacheable.
+pub fn file_cacheable_ops() -> [u32; 5] {
+    [
+        fs::file_ops::SIZE,
+        fs::file_ops::READ,
+        fs::file_ops::STAT,
+        fs::file_ops::VERSION,
+        fs::cacheable_file_ops::CACHE_MANAGER_NAME,
+    ]
+}
+
 /// Creates a cache manager configured for file objects: read-only file
 /// operations are cached; writes forward and invalidate.
 ///
 /// Bind the object from [`CacheManager::export`] into the machine-local
-/// naming context under the manager name the file server advertises.
+/// naming context under the manager name the file server advertises. The
+/// manager serves both incoherent and coherent attachments — a coherent
+/// server's marshalled form tells the manager to register an invalidation
+/// callback and honour leases (DESIGN.md §5.11).
 pub fn file_cache_manager(ctx: &Arc<DomainCtx>) -> Arc<CacheManager> {
-    CacheManager::new(
-        ctx,
-        [
-            fs::file_ops::SIZE,
-            fs::file_ops::READ,
-            fs::file_ops::STAT,
-            fs::file_ops::VERSION,
-            fs::cacheable_file_ops::CACHE_MANAGER_NAME,
-        ],
-    )
+    CacheManager::new(ctx, file_cacheable_ops())
 }

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
-use spring_subcontracts::{Caching, Simplex};
+use spring_subcontracts::{Caching, CoherentStats, Simplex};
 use subcontract::{DomainCtx, Result, ServerSubcontract, SpringObj};
 
 use crate::idl::fs;
@@ -92,16 +93,44 @@ impl FileServer {
     }
 
     /// Exports one file as a `cacheable_file` (caching subcontract).
+    ///
+    /// Caches on different machines are *incoherent* with each other; use
+    /// [`FileServer::export_coherent`] when several machines share the file.
     pub fn export_cacheable(self: &Arc<Self>, name: &str) -> Result<SpringObj> {
+        let skel = self.cacheable_skeleton(name)?;
+        Caching::export(&self.ctx, skel, self.manager_name.clone())
+    }
+
+    /// Exports one file as a *coherent* `cacheable_file`: the server
+    /// broadcasts epoch-stamped invalidations to every attached machine
+    /// after a write commits, and caches serve only under a `lease`.
+    /// Returns the object plus the server-side coherence counters.
+    pub fn export_coherent(
+        self: &Arc<Self>,
+        name: &str,
+        lease: Duration,
+    ) -> Result<(SpringObj, Arc<CoherentStats>)> {
+        let skel = self.cacheable_skeleton(name)?;
+        Caching::export_coherent(
+            &self.ctx,
+            skel,
+            self.manager_name.clone(),
+            crate::cache::file_cacheable_ops(),
+            lease,
+        )
+    }
+
+    fn cacheable_skeleton(self: &Arc<Self>, name: &str) -> Result<Arc<dyn subcontract::Dispatch>> {
         let node = self
             .store
             .get(name)
             .ok_or(subcontract::SpringError::ResolveFailed(name.to_owned()))?;
-        let skel = fs::CacheableFileSkeleton::new(Arc::new(CacheableFileServant {
-            inner: FileServant { node },
-            manager: self.manager_name.clone(),
-        }));
-        Caching::export(&self.ctx, skel, self.manager_name.clone())
+        Ok(fs::CacheableFileSkeleton::new(Arc::new(
+            CacheableFileServant {
+                inner: FileServant { node },
+                manager: self.manager_name.clone(),
+            },
+        )))
     }
 }
 

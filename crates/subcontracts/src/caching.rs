@@ -12,16 +12,33 @@
 //! its *cacheable set* are answered from the cache when possible; any other
 //! operation is forwarded to the server and invalidates the cache
 //! (write-through). The original Spring cache manager was the file system's
-//! coherent cache ([Nelson et al 1993]); cross-machine coherence is out of
-//! scope here and the simplification is recorded in DESIGN.md.
+//! coherent cache ([Nelson et al 1993]); [`Caching::export_coherent`]
+//! provides the same guarantee here — cross-machine coherence via
+//! server-driven, epoch-stamped invalidation callbacks backed by leases —
+//! implemented entirely inside the subcontract, with the stubs untouched.
+//! The protocol is documented in DESIGN.md §5.11.
+//!
+//! Coherence in one paragraph: each coherent attachment registers a
+//! callback door with the server under a process-unique nonce. After any
+//! non-cacheable (mutating) operation commits, the server bumps its *epoch*
+//! and broadcasts the new epoch to every registered cache. Because
+//! callbacks cross the simulated network they can be dropped, so
+//! correctness never depends on delivery: memo entries are tagged with the
+//! epoch they were read under and are only served while the servant holds a
+//! live *lease*; on lease expiry the servant revalidates with a cheap
+//! epoch-check RPC (re-registering if the server pruned it). A cache that
+//! stops acknowledging callbacks is pruned from the broadcast set without
+//! blocking the write path.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use spring_buf::CommBuffer;
-use spring_kernel::{CallCtx, DoorHandler, DoorId, Message};
+use spring_kernel::callid::now_micros;
+use spring_kernel::{CallCtx, DoorError, DoorHandler, DoorId, Message};
 use subcontract::{
     decode_reply_status, encode_ok, get_obj_header, op_hash, put_obj_header, redispatch_if_foreign,
     server_dispatch, Dispatch, DomainCtx, ObjParts, ReplyStatus, Repr, Result, ScId, ServerCtx,
@@ -39,6 +56,41 @@ pub static CACHE_MANAGER_TYPE: TypeInfo = TypeInfo {
 /// door back.
 pub const OP_ATTACH: u32 = op_hash("attach");
 
+/// Coherence-protocol operation: register a callback door under a nonce.
+/// Served by [`CoherentHandler`] itself, never by the skeleton; an
+/// incoherent server never receives it (servants only speak the protocol
+/// when the marshalled form said the server is coherent).
+pub const OP_CACHE_REGISTER: u32 = op_hash("cache.register");
+
+/// Coherence-protocol operation: epoch-check RPC used to revalidate a lease.
+pub const OP_CACHE_EPOCH: u32 = op_hash("cache.epoch");
+
+/// Coherence-protocol operation: drop a registration (best effort; a lost
+/// detach is reaped via the unknown-nonce list on the next broadcast).
+pub const OP_CACHE_DETACH: u32 = op_hash("cache.detach");
+
+/// Consecutive transient (Comm) callback failures before a cache is pruned
+/// from the broadcast set. Non-transient failures (revoked door, dead
+/// domain) prune immediately. A pruned-but-alive cache re-registers itself
+/// on its next lease revalidation, so an over-eager prune only costs
+/// callbacks, never correctness.
+const MAX_CALLBACK_FAILURES: u32 = 8;
+
+/// Default bound on a cache servant's memo (entries), LRU-evicted.
+const DEFAULT_MEMO_CAPACITY: usize = 1024;
+
+/// Process-wide attach nonce allocator; nonces name registrations across
+/// the network, so they must be unique across every manager in the process.
+static NEXT_ATTACH_NONCE: AtomicU64 = AtomicU64::new(1);
+
+/// Reads the operation word without copying the payload: caching objects
+/// have no `invoke_preamble`, so the op is the first aligned little-endian
+/// `u32` of the marshalled stream.
+fn peek_op(bytes: &[u8]) -> Option<u32> {
+    let raw: [u8; 4] = bytes.get(0..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
+}
+
 /// Client representation: server door, cache door, and the manager name.
 #[derive(Debug)]
 struct CachingRepr {
@@ -48,6 +100,9 @@ struct CachingRepr {
     d2: DoorId,
     /// Name of the cache manager, resolved machine-locally on unmarshal.
     manager: String,
+    /// Whether the server broadcasts invalidations: receiving machines
+    /// attach coherently (register a callback, honour leases) iff set.
+    coherent: bool,
 }
 
 /// The caching subcontract (client side).
@@ -66,6 +121,11 @@ impl Caching {
     /// Exports an object that clients will access through their local cache
     /// managers. The server side is a plain door to the skeleton; the
     /// cleverness is all in unmarshal on the receiving machines.
+    ///
+    /// Caches attached to this export are *incoherent* across machines: a
+    /// write through one machine's cache invalidates only that machine.
+    /// Use [`Caching::export_coherent`] when several machines may share
+    /// the object.
     pub fn export(
         ctx: &Arc<DomainCtx>,
         disp: Arc<dyn Dispatch>,
@@ -78,10 +138,60 @@ impl Caching {
             disp,
             dedup: crate::dedup::ReplyCache::default(),
         });
+        Self::assemble_export(ctx, type_info, handler, manager_name.into(), false)
+    }
+
+    /// Exports a *coherent* caching object: every attached cache registers
+    /// an invalidation callback, mutating operations bump the server epoch
+    /// and broadcast it, and memo entries are only served under a live
+    /// `lease`. The exporting server's own D2 path shares the handler, so
+    /// server-local writes invalidate remote caches too.
+    ///
+    /// Returns the object plus the server-side coherence counters.
+    pub fn export_coherent(
+        ctx: &Arc<DomainCtx>,
+        disp: Arc<dyn Dispatch>,
+        manager_name: impl Into<String>,
+        cacheable_ops: impl IntoIterator<Item = u32>,
+        lease: Duration,
+    ) -> Result<(SpringObj, Arc<CoherentStats>)> {
+        let type_info = disp.type_info();
+        ctx.types().register(type_info);
+        let stats = Arc::new(CoherentStats::default());
+        let handler = Arc::new(CoherentHandler {
+            inner: DirectHandler {
+                ctx: ctx.clone(),
+                disp,
+                dedup: crate::dedup::ReplyCache::default(),
+            },
+            cacheable: cacheable_ops.into_iter().collect(),
+            lease_micros: lease.as_micros().max(1) as u64,
+            callbacks: Mutex::new(HashMap::new()),
+            stats: stats.clone(),
+        });
+        let obj = Self::assemble_export(ctx, type_info, handler, manager_name.into(), true)?;
+        Ok((obj, stats))
+    }
+
+    fn assemble_export(
+        ctx: &Arc<DomainCtx>,
+        type_info: &'static TypeInfo,
+        handler: Arc<dyn DoorHandler>,
+        manager: String,
+        coherent: bool,
+    ) -> Result<SpringObj> {
         let d1 = ctx.domain().create_door(handler)?;
         // The exporting server needs no cache to reach itself: its D2 is a
-        // second identifier for the server door.
-        let d2 = ctx.domain().copy_door(d1)?;
+        // second identifier for the server door (which, for a coherent
+        // export, is exactly what routes server-local writes through the
+        // broadcast).
+        let d2 = match ctx.domain().copy_door(d1) {
+            Ok(d2) => d2,
+            Err(e) => {
+                let _ = ctx.domain().delete_door(d1);
+                return Err(e.into());
+            }
+        };
         Ok(SpringObj::assemble(
             ctx.clone(),
             type_info,
@@ -89,7 +199,8 @@ impl Caching {
             Repr::new(CachingRepr {
                 d1,
                 d2,
-                manager: manager_name.into(),
+                manager,
+                coherent,
             }),
         ))
     }
@@ -109,11 +220,7 @@ impl DoorHandler for DirectHandler {
         self.disp.unreferenced();
     }
 
-    fn invoke(
-        &self,
-        cctx: &CallCtx,
-        msg: Message,
-    ) -> std::result::Result<Message, spring_kernel::DoorError> {
+    fn invoke(&self, cctx: &CallCtx, msg: Message) -> std::result::Result<Message, DoorError> {
         self.dedup.serve(msg, |msg| {
             let mut span = spring_trace::span_start(
                 "caching.serve",
@@ -136,6 +243,282 @@ impl DoorHandler for DirectHandler {
     }
 }
 
+/// Server-side counters for a coherent export (observability + E4).
+#[derive(Debug, Default)]
+pub struct CoherentStats {
+    epoch: AtomicU64,
+    broadcasts: AtomicU64,
+    callback_failures: AtomicU64,
+    pruned: AtomicU64,
+    registrations: AtomicU64,
+}
+
+impl CoherentStats {
+    /// Current server epoch (bumped once per committed mutating op).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Invalidation broadcast calls issued (one per distinct callback door
+    /// per epoch bump, not one per registration).
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+
+    /// Broadcast calls that failed (lost on the network, dead peer…).
+    pub fn callback_failures(&self) -> u64 {
+        self.callback_failures.load(Ordering::Relaxed)
+    }
+
+    /// Registrations pruned from the broadcast set.
+    pub fn pruned(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    /// Callback registrations accepted (including re-registrations).
+    pub fn registrations(&self) -> u64 {
+        self.registrations.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered invalidation callback.
+struct Callback {
+    /// Our copy of the cache's callback door (possibly a network proxy).
+    door: DoorId,
+    /// Underlying door token: registrations from the same manager share a
+    /// door, so broadcasts group by token and issue one call per machine.
+    token: u64,
+    /// Consecutive transient failures (reset on success).
+    fails: u32,
+}
+
+/// The coherent server handler: wraps [`DirectHandler`], intercepts the
+/// coherence-protocol ops, and broadcasts epoch bumps after mutating ops.
+pub(crate) struct CoherentHandler {
+    inner: DirectHandler,
+    cacheable: HashSet<u32>,
+    lease_micros: u64,
+    /// nonce → callback. Never held across a door call (broadcasts snapshot
+    /// it first), per the kernel's lock discipline.
+    callbacks: Mutex<HashMap<u64, Callback>>,
+    stats: Arc<CoherentStats>,
+}
+
+impl CoherentHandler {
+    fn domain(&self) -> &spring_kernel::Domain {
+        self.inner.ctx.domain()
+    }
+
+    fn handle_register(&self, msg: Message) -> std::result::Result<Message, DoorError> {
+        let carried = msg.doors.clone();
+        let parsed = (|| -> Result<(u64, DoorId)> {
+            if carried.len() != 1 {
+                return Err(SpringError::Remote(
+                    "cache.register expects exactly one callback door".into(),
+                ));
+            }
+            let mut args = CommBuffer::from_message(msg);
+            let _op = args.get_u32()?;
+            let nonce = args.get_u64()?;
+            let door = args.get_door()?;
+            Ok((nonce, door))
+        })();
+        let (nonce, door) = match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                for d in carried {
+                    let _ = self.domain().delete_door(d);
+                }
+                return Err(DoorError::Handler(format!("cache.register: {e}")));
+            }
+        };
+        let token = match self.domain().door_token(door) {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = self.domain().delete_door(door);
+                return Err(e);
+            }
+        };
+        let prev = self.callbacks.lock().insert(
+            nonce,
+            Callback {
+                door,
+                token,
+                fails: 0,
+            },
+        );
+        if let Some(prev) = prev {
+            let _ = self.domain().delete_door(prev.door);
+        }
+        self.stats.registrations.fetch_add(1, Ordering::Relaxed);
+        let mut reply = CommBuffer::pooled();
+        encode_ok(&mut reply);
+        reply.put_u64(self.stats.epoch.load(Ordering::SeqCst));
+        reply.put_u64(self.lease_micros);
+        Ok(reply.into_message())
+    }
+
+    fn handle_epoch(&self, msg: Message) -> std::result::Result<Message, DoorError> {
+        let mut args = CommBuffer::from_message(msg);
+        let nonce = (|| -> Result<u64> {
+            let _op = args.get_u32()?;
+            Ok(args.get_u64()?)
+        })()
+        .map_err(|e| DoorError::Handler(format!("cache.epoch: {e}")))?;
+        let registered = self.callbacks.lock().contains_key(&nonce);
+        let mut reply = CommBuffer::pooled();
+        encode_ok(&mut reply);
+        reply.put_u64(self.stats.epoch.load(Ordering::SeqCst));
+        reply.put_u64(self.lease_micros);
+        reply.put_bool(registered);
+        Ok(reply.into_message())
+    }
+
+    fn handle_detach(&self, msg: Message) -> std::result::Result<Message, DoorError> {
+        let mut args = CommBuffer::from_message(msg);
+        let nonce = (|| -> Result<u64> {
+            let _op = args.get_u32()?;
+            Ok(args.get_u64()?)
+        })()
+        .map_err(|e| DoorError::Handler(format!("cache.detach: {e}")))?;
+        if let Some(cb) = self.callbacks.lock().remove(&nonce) {
+            let _ = self.domain().delete_door(cb.door);
+        }
+        let mut reply = CommBuffer::pooled();
+        encode_ok(&mut reply);
+        Ok(reply.into_message())
+    }
+
+    /// Broadcasts `epoch` to every registered cache, one call per distinct
+    /// callback door. Never blocks the write path on a misbehaving cache:
+    /// failures are counted and registrations pruned per
+    /// [`MAX_CALLBACK_FAILURES`]; correctness rests on leases, not on
+    /// delivery. Callback replies list nonces the manager no longer knows
+    /// (lost detaches), which are reaped here.
+    fn broadcast(&self, epoch: u64) {
+        let snapshot: Vec<(u64, DoorId, u64)> = {
+            let cbs = self.callbacks.lock();
+            cbs.iter().map(|(n, c)| (*n, c.door, c.token)).collect()
+        };
+        if snapshot.is_empty() {
+            return;
+        }
+        let mut groups: HashMap<u64, (DoorId, Vec<u64>)> = HashMap::new();
+        for (nonce, door, token) in snapshot {
+            groups
+                .entry(token)
+                .or_insert_with(|| (door, Vec::new()))
+                .1
+                .push(nonce);
+        }
+        for (_, (door, nonces)) in groups {
+            let mut note = CommBuffer::pooled();
+            note.put_u64(epoch);
+            note.put_u64(self.lease_micros);
+            note.put_u32(nonces.len() as u32);
+            for n in &nonces {
+                note.put_u64(*n);
+            }
+            self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+            let outcome = self.domain().call(door, note.into_message());
+            let mut dead: Vec<DoorId> = Vec::new();
+            {
+                let mut cbs = self.callbacks.lock();
+                match &outcome {
+                    Ok(reply) => {
+                        for n in &nonces {
+                            if let Some(cb) = cbs.get_mut(n) {
+                                cb.fails = 0;
+                            }
+                        }
+                        // Reap nonces the manager reported as unknown
+                        // (detach messages lost on the network).
+                        for n in decode_unknown_nonces(reply) {
+                            if let Some(cb) = cbs.remove(&n) {
+                                dead.push(cb.door);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.stats.callback_failures.fetch_add(1, Ordering::Relaxed);
+                        // Only Comm failures are transient; anything else
+                        // (revoked, dead domain) means the cache is gone.
+                        let transient = matches!(e, DoorError::Comm(_));
+                        for n in &nonces {
+                            let prune = match cbs.get_mut(n) {
+                                Some(cb) => {
+                                    cb.fails += 1;
+                                    !transient || cb.fails >= MAX_CALLBACK_FAILURES
+                                }
+                                None => false,
+                            };
+                            if prune {
+                                if let Some(cb) = cbs.remove(n) {
+                                    dead.push(cb.door);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for d in dead {
+                self.stats.pruned.fetch_add(1, Ordering::Relaxed);
+                let _ = self.domain().delete_door(d);
+            }
+        }
+    }
+}
+
+/// Parses the unknown-nonce list a callback reply may carry.
+fn decode_unknown_nonces(reply: &Message) -> Vec<u64> {
+    let mut buf = CommBuffer::from_message(Message::from_bytes(reply.bytes.clone()));
+    let Ok(n) = buf.get_u32() else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        match buf.get_u64() {
+            Ok(nonce) => out.push(nonce),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+impl DoorHandler for CoherentHandler {
+    fn unreferenced(&self) {
+        let doors: Vec<DoorId> = {
+            let mut cbs = self.callbacks.lock();
+            cbs.drain().map(|(_, c)| c.door).collect()
+        };
+        for d in doors {
+            let _ = self.domain().delete_door(d);
+        }
+        self.inner.unreferenced();
+    }
+
+    fn invoke(&self, cctx: &CallCtx, msg: Message) -> std::result::Result<Message, DoorError> {
+        match peek_op(&msg.bytes) {
+            Some(OP_CACHE_REGISTER) => self.handle_register(msg),
+            Some(OP_CACHE_EPOCH) => self.handle_epoch(msg),
+            Some(OP_CACHE_DETACH) => self.handle_detach(msg),
+            Some(op) if self.cacheable.contains(&op) => self.inner.invoke(cctx, msg),
+            _ => {
+                // Mutating (or unparsable) operation: run it, then bump the
+                // epoch and broadcast iff it committed. The epoch is bumped
+                // *before* the broadcast so even a cache that misses every
+                // callback sees the mismatch on its next revalidation.
+                let reply = self.inner.invoke(cctx, msg)?;
+                if reply.bytes.first() == Some(&STATUS_OK) {
+                    let epoch = self.stats.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.broadcast(epoch);
+                }
+                Ok(reply)
+            }
+        }
+    }
+}
+
 impl Subcontract for Caching {
     fn id(&self) -> ScId {
         Self::ID
@@ -154,11 +537,12 @@ impl Subcontract for Caching {
 
     fn marshal(&self, ctx: &Arc<DomainCtx>, parts: ObjParts, buf: &mut CommBuffer) -> Result<()> {
         let repr = parts.repr.into_downcast::<CachingRepr>(self.name())?;
-        // Only D1 and the manager name travel; the local cache attachment
-        // is not meaningful on another machine.
+        // Only D1, the manager name and the coherence flag travel; the
+        // local cache attachment is not meaningful on another machine.
         put_obj_header(buf, Self::ID, &parts.type_name);
         buf.put_door(repr.d1);
         buf.put_string(&repr.manager);
+        buf.put_bool(repr.coherent);
         let _ = ctx.domain().delete_door(repr.d2);
         Ok(())
     }
@@ -174,21 +558,20 @@ impl Subcontract for Caching {
         }
         let (_, wire_name, actual) = get_obj_header(ctx, expected, buf)?;
         let d1 = buf.get_door()?;
-        let manager = buf.get_string()?;
-
-        // Resolve the manager name in the machine-local context and attach:
-        // this is the "significant overhead to object unmarshalling" the
-        // paper trades for local invocations (§9.3).
-        let resolver = ctx.resolver()?;
-        let mgr = resolver.resolve(&manager, &CACHE_MANAGER_TYPE)?;
-        let mut call = mgr.start_call(OP_ATTACH)?;
-        let d1_for_mgr = ctx.domain().copy_door(d1)?;
-        call.put_door(d1_for_mgr);
-        let mut reply = mgr.invoke(call)?;
-        let d2 = match decode_reply_status(&mut reply)? {
-            ReplyStatus::Ok => reply.get_door()?,
-            ReplyStatus::UserException(name) => {
-                return Err(SpringError::UnknownUserException(name))
+        // From here on D1 is landed in our door table: every failure path
+        // must release it (and any copy made for the manager) or the
+        // identifier leaks for the life of the domain.
+        let attached = (|| -> Result<(String, bool, DoorId)> {
+            let manager = buf.get_string()?;
+            let coherent = buf.get_bool()?;
+            let d2 = attach_local(ctx, d1, &manager, coherent)?;
+            Ok((manager, coherent, d2))
+        })();
+        let (manager, coherent, d2) = match attached {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = ctx.domain().delete_door(d1);
+                return Err(e);
             }
         };
 
@@ -197,17 +580,31 @@ impl Subcontract for Caching {
             wire_name,
             actual,
             ctx.lookup_subcontract(Self::ID)?,
-            Repr::new(CachingRepr { d1, d2, manager }),
+            Repr::new(CachingRepr {
+                d1,
+                d2,
+                manager,
+                coherent,
+            }),
         ))
     }
 
     fn copy(&self, obj: &SpringObj) -> Result<SpringObj> {
         let repr = obj.repr().downcast::<CachingRepr>(self.name())?;
         let domain = obj.ctx().domain();
+        let d1 = domain.copy_door(repr.d1)?;
+        let d2 = match domain.copy_door(repr.d2) {
+            Ok(d2) => d2,
+            Err(e) => {
+                let _ = domain.delete_door(d1);
+                return Err(e.into());
+            }
+        };
         Ok(obj.assemble_like(Repr::new(CachingRepr {
-            d1: domain.copy_door(repr.d1)?,
-            d2: domain.copy_door(repr.d2)?,
+            d1,
+            d2,
             manager: repr.manager.clone(),
+            coherent: repr.coherent,
         })))
     }
 
@@ -216,6 +613,33 @@ impl Subcontract for Caching {
         let _ = ctx.domain().delete_door(repr.d2);
         ctx.domain().delete_door(repr.d1)?;
         Ok(())
+    }
+}
+
+/// Resolves the machine-local cache manager and attaches `d1`, returning
+/// the cache door (D2). Releases every identifier it created on failure;
+/// the caller still owns `d1` either way. This is the "significant overhead
+/// to object unmarshalling" the paper trades for local invocations (§9.3).
+fn attach_local(ctx: &Arc<DomainCtx>, d1: DoorId, manager: &str, coherent: bool) -> Result<DoorId> {
+    let resolver = ctx.resolver()?;
+    let mgr = resolver.resolve(manager, &CACHE_MANAGER_TYPE)?;
+    let mut call = mgr.start_call(OP_ATTACH)?;
+    let d1_for_mgr = ctx.domain().copy_door(d1)?;
+    call.put_door(d1_for_mgr);
+    call.put_bool(coherent);
+    let mut reply = match mgr.invoke(call) {
+        Ok(reply) => reply,
+        Err(e) => {
+            // The copy may still be ours if the call never landed (the
+            // kernel validates identifiers before moving any); slots are
+            // never reused, so a stale delete is harmless.
+            let _ = ctx.domain().delete_door(d1_for_mgr);
+            return Err(e);
+        }
+    };
+    match decode_reply_status(&mut reply)? {
+        ReplyStatus::Ok => Ok(reply.get_door()?),
+        ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
     }
 }
 
@@ -228,6 +652,8 @@ pub struct CacheStats {
     forwards: AtomicU64,
     invalidations: AtomicU64,
     attaches: AtomicU64,
+    evictions: AtomicU64,
+    revalidations: AtomicU64,
 }
 
 impl CacheStats {
@@ -246,7 +672,7 @@ impl CacheStats {
         self.forwards.load(Ordering::Relaxed)
     }
 
-    /// Cache invalidations caused by forwarded mutating operations.
+    /// Cache invalidations (forwarded mutating operations, epoch bumps).
     pub fn invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
     }
@@ -254,6 +680,16 @@ impl CacheStats {
     /// Objects attached to this manager.
     pub fn attaches(&self) -> u64 {
         self.attaches.load(Ordering::Relaxed)
+    }
+
+    /// Memo entries evicted to stay within the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Epoch-check RPCs issued on lease expiry.
+    pub fn revalidations(&self) -> u64 {
+        self.revalidations.load(Ordering::Relaxed)
     }
 }
 
@@ -263,19 +699,41 @@ impl CacheStats {
 /// servant door (D2) whose handler memoizes cacheable operations and
 /// forwards the rest. Bind the object from [`CacheManager::export`] into the
 /// machine-local naming context under the name caching objects carry.
+///
+/// All coherent attachments share one callback door (created lazily);
+/// invalidation broadcasts address individual attachments by nonce, so one
+/// network call invalidates every cache the manager holds for that server.
 pub struct CacheManager {
     ctx: Arc<DomainCtx>,
     cacheable: HashSet<u32>,
     stats: Arc<CacheStats>,
+    memo_capacity: usize,
+    registry: Arc<CallbackRegistry>,
+    /// The shared callback door, created on first coherent attach and kept
+    /// for the manager's lifetime.
+    callback_door: Mutex<Option<DoorId>>,
 }
 
 impl CacheManager {
     /// Creates a manager in `ctx`'s domain caching the given operations.
     pub fn new(ctx: &Arc<DomainCtx>, cacheable_ops: impl IntoIterator<Item = u32>) -> Arc<Self> {
+        Self::with_memo_capacity(ctx, cacheable_ops, DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// Creates a manager whose per-attachment memo holds at most
+    /// `memo_capacity` entries (least-recently-used entries are evicted).
+    pub fn with_memo_capacity(
+        ctx: &Arc<DomainCtx>,
+        cacheable_ops: impl IntoIterator<Item = u32>,
+        memo_capacity: usize,
+    ) -> Arc<Self> {
         Arc::new(CacheManager {
             ctx: ctx.clone(),
             cacheable: cacheable_ops.into_iter().collect(),
             stats: Arc::new(CacheStats::default()),
+            memo_capacity: memo_capacity.max(1),
+            registry: Arc::new(CallbackRegistry::default()),
+            callback_door: Mutex::new(None),
         })
     }
 
@@ -289,6 +747,81 @@ impl CacheManager {
     pub fn export(self: &Arc<Self>) -> Result<SpringObj> {
         let disp = Arc::new(CacheManagerDispatch { mgr: self.clone() });
         crate::simplex::Simplex.export(&self.ctx, disp)
+    }
+
+    /// Returns the shared callback door, creating it on first use.
+    fn callback_door(&self) -> Result<DoorId> {
+        let mut slot = self.callback_door.lock();
+        if let Some(d) = *slot {
+            return Ok(d);
+        }
+        let handler = Arc::new(InvalidationCallback {
+            registry: self.registry.clone(),
+        });
+        let d = self.ctx.domain().create_door(handler)?;
+        *slot = Some(d);
+        Ok(d)
+    }
+
+    /// Attaches a server door, returning the cache (D2) door. Owns
+    /// `server_door` from the moment it is called: every failure path
+    /// releases it and anything else allocated along the way.
+    fn attach(self: &Arc<Self>, server_door: DoorId, coherent: bool) -> Result<DoorId> {
+        let domain = self.ctx.domain();
+        let coherence = if coherent {
+            let own = (|| -> Result<DoorId> {
+                let shared = self.callback_door()?;
+                Ok(domain.copy_door(shared)?)
+            })();
+            let own = match own {
+                Ok(d) => d,
+                Err(e) => {
+                    let _ = domain.delete_door(server_door);
+                    return Err(e);
+                }
+            };
+            Some(Coherence {
+                nonce: NEXT_ATTACH_NONCE.fetch_add(1, Ordering::Relaxed),
+                callback_door: own,
+                epoch: AtomicU64::new(0),
+                lease_micros: AtomicU64::new(0),
+                lease_until: AtomicU64::new(0),
+                registered: AtomicBool::new(false),
+                registry: self.registry.clone(),
+            })
+        } else {
+            None
+        };
+        let servant = Arc::new(CacheServant {
+            ctx: self.ctx.clone(),
+            server_door,
+            cacheable: self.cacheable.clone(),
+            stats: self.stats.clone(),
+            memo: Mutex::new(Memo::new(self.memo_capacity)),
+            coherence,
+        });
+        if let Some(coh) = &servant.coherence {
+            self.registry.insert(coh.nonce, Arc::downgrade(&servant));
+        }
+        let d2 = match domain.create_door(servant.clone()) {
+            Ok(d) => d,
+            Err(e) => {
+                if let Some(coh) = &servant.coherence {
+                    self.registry.remove(coh.nonce);
+                    let _ = domain.delete_door(coh.callback_door);
+                }
+                let _ = domain.delete_door(servant.server_door);
+                return Err(e.into());
+            }
+        };
+        // Best-effort initial registration: on failure the servant stays in
+        // lease-only mode (lease_until starts expired), so its first read
+        // revalidates — and re-registers — before serving anything.
+        if servant.coherence.is_some() {
+            let _ = servant.try_register();
+        }
+        self.stats.attaches.fetch_add(1, Ordering::Relaxed);
+        Ok(d2)
     }
 }
 
@@ -312,18 +845,176 @@ impl Dispatch for CacheManagerDispatch {
             return Err(SpringError::UnknownOp(op));
         }
         let server_door = args.get_door()?;
-        let servant = Arc::new(CacheServant {
-            ctx: self.mgr.ctx.clone(),
-            server_door,
-            cacheable: self.mgr.cacheable.clone(),
-            stats: self.mgr.stats.clone(),
-            memo: Mutex::new(HashMap::new()),
-        });
-        let d2 = self.mgr.ctx.domain().create_door(servant)?;
-        self.mgr.stats.attaches.fetch_add(1, Ordering::Relaxed);
+        let coherent = match args.get_bool() {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = self.mgr.ctx.domain().delete_door(server_door);
+                return Err(e.into());
+            }
+        };
+        let d2 = self.mgr.attach(server_door, coherent)?;
         encode_ok(reply);
         reply.put_door(d2);
         Ok(())
+    }
+}
+
+/// nonce → servant routing for the manager's shared callback door.
+#[derive(Default)]
+struct CallbackRegistry {
+    servants: Mutex<HashMap<u64, Weak<CacheServant>>>,
+}
+
+impl CallbackRegistry {
+    fn insert(&self, nonce: u64, servant: Weak<CacheServant>) {
+        self.servants.lock().insert(nonce, servant);
+    }
+
+    fn remove(&self, nonce: u64) {
+        let mut map = self.servants.lock();
+        map.remove(&nonce);
+        // Opportunistically drop entries whose servants are gone.
+        map.retain(|_, w| w.strong_count() > 0);
+    }
+}
+
+/// Handler behind the manager's shared callback door: decodes an epoch
+/// broadcast and routes it to the addressed attachments. Replies with the
+/// nonces it did not recognise so the server can reap registrations whose
+/// detach message was lost.
+struct InvalidationCallback {
+    registry: Arc<CallbackRegistry>,
+}
+
+impl DoorHandler for InvalidationCallback {
+    fn invoke(&self, _cctx: &CallCtx, msg: Message) -> std::result::Result<Message, DoorError> {
+        let mut buf = CommBuffer::from_message(msg);
+        let parsed = (|| -> Result<(u64, u64, u32)> {
+            Ok((buf.get_u64()?, buf.get_u64()?, buf.get_u32()?))
+        })();
+        let (epoch, lease_micros, count) =
+            parsed.map_err(|e| DoorError::Handler(format!("cache invalidation: {e}")))?;
+        let mut hit: Vec<Arc<CacheServant>> = Vec::new();
+        let mut unknown: Vec<u64> = Vec::new();
+        {
+            let servants = self.registry.servants.lock();
+            for _ in 0..count {
+                let nonce = buf
+                    .get_u64()
+                    .map_err(|e| DoorError::Handler(format!("cache invalidation: {e}")))?;
+                match servants.get(&nonce).and_then(Weak::upgrade) {
+                    Some(s) => hit.push(s),
+                    None => unknown.push(nonce),
+                }
+            }
+        }
+        // note_epoch takes the servant memo lock; do it outside the registry
+        // lock to keep lock scopes disjoint.
+        for s in hit {
+            s.note_epoch(epoch, lease_micros);
+        }
+        let mut reply = CommBuffer::pooled();
+        reply.put_u32(unknown.len() as u32);
+        for n in unknown {
+            reply.put_u64(n);
+        }
+        Ok(reply.into_message())
+    }
+}
+
+/// Per-attachment coherence state.
+struct Coherence {
+    /// Process-unique registration nonce.
+    nonce: u64,
+    /// The servant's own copy of the manager's shared callback door, used
+    /// to (re-)register with the server.
+    callback_door: DoorId,
+    /// Latest server epoch this cache knows.
+    epoch: AtomicU64,
+    /// Lease duration granted by the server (µs).
+    lease_micros: AtomicU64,
+    /// Absolute expiry ([`now_micros`]) of the current lease. Starts at 0
+    /// (= expired) so nothing is served before the server has been heard.
+    lease_until: AtomicU64,
+    /// Whether the server acknowledged our callback registration.
+    registered: AtomicBool,
+    registry: Arc<CallbackRegistry>,
+}
+
+/// A memoized reply, tagged with the epoch it was read under.
+struct MemoEntry {
+    reply: Vec<u8>,
+    epoch: u64,
+    last_used: u64,
+}
+
+/// Bounded request-bytes → reply-bytes memo with LRU eviction.
+struct Memo {
+    entries: HashMap<Vec<u8>, MemoEntry>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl Memo {
+    fn new(capacity: usize) -> Memo {
+        Memo {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Returns the memoized reply for `key` if it was read under `epoch`.
+    fn lookup(&mut self, key: &[u8], epoch: u64) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        if entry.epoch != epoch {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(entry.reply.clone())
+    }
+
+    /// Inserts an entry, evicting the least-recently-used one when full.
+    /// Returns true when an eviction was needed.
+    fn insert(&mut self, key: Vec<u8>, reply: Vec<u8>, epoch: u64) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.entries.insert(
+            key,
+            MemoEntry {
+                reply,
+                epoch,
+                last_used: self.tick,
+            },
+        );
+        evicted
+    }
+
+    /// Drops entries read under an epoch older than `epoch`; returns how
+    /// many were dropped.
+    fn drop_stale(&mut self, epoch: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.epoch >= epoch);
+        before - self.entries.len()
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
     }
 }
 
@@ -333,35 +1024,160 @@ struct CacheServant {
     server_door: DoorId,
     cacheable: HashSet<u32>,
     stats: Arc<CacheStats>,
-    /// Request bytes -> reply bytes, for cacheable requests whose replies
-    /// carry no capabilities.
-    memo: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+    /// Cacheable requests whose replies carry no capabilities.
+    memo: Mutex<Memo>,
+    /// Present iff the server is a coherent export.
+    coherence: Option<Coherence>,
+}
+
+impl CacheServant {
+    fn known_epoch(&self) -> u64 {
+        self.coherence
+            .as_ref()
+            .map(|c| c.epoch.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Adopts a (possibly newer) server epoch and renews the lease. Both a
+    /// callback delivery and an epoch-check reply prove contact with the
+    /// server at this instant, so either renews.
+    fn note_epoch(&self, epoch: u64, lease_micros: u64) {
+        let Some(coh) = &self.coherence else { return };
+        let prev = coh.epoch.fetch_max(epoch, Ordering::AcqRel);
+        if epoch > prev {
+            let dropped = self.memo.lock().drop_stale(epoch);
+            if dropped > 0 {
+                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        coh.lease_micros.store(lease_micros, Ordering::Relaxed);
+        let until = now_micros().saturating_add(lease_micros);
+        coh.lease_until.fetch_max(until, Ordering::AcqRel);
+    }
+
+    /// Lease expired: ask the server for its current epoch. On success the
+    /// lease is renewed (and the registration repaired if the server no
+    /// longer knows us); on failure nothing may be served from the memo.
+    fn revalidate(&self, coh: &Coherence) -> std::result::Result<(), DoorError> {
+        self.stats.revalidations.fetch_add(1, Ordering::Relaxed);
+        let mut call = CommBuffer::pooled();
+        call.put_u32(OP_CACHE_EPOCH);
+        call.put_u64(coh.nonce);
+        let reply = self
+            .ctx
+            .domain()
+            .call(self.server_door, call.into_message())?;
+        let mut reply = CommBuffer::from_message(reply);
+        let parsed = (|| -> Result<(u64, u64, bool)> {
+            if reply.get_u8()? != STATUS_OK {
+                return Err(SpringError::Remote("cache.epoch refused".into()));
+            }
+            Ok((reply.get_u64()?, reply.get_u64()?, reply.get_bool()?))
+        })();
+        let (epoch, lease, registered) =
+            parsed.map_err(|e| DoorError::Handler(format!("cache.epoch reply: {e}")))?;
+        self.note_epoch(epoch, lease);
+        if !registered {
+            // The server pruned us (or the registration never landed):
+            // repair it so invalidations resume. The lease alone keeps us
+            // correct in the meantime.
+            coh.registered.store(false, Ordering::Relaxed);
+            let _ = self.try_register();
+        }
+        Ok(())
+    }
+
+    /// Ships a copy of the callback door to the server under our nonce.
+    fn try_register(&self) -> std::result::Result<(), DoorError> {
+        let Some(coh) = &self.coherence else {
+            return Ok(());
+        };
+        let cb = self.ctx.domain().copy_door(coh.callback_door)?;
+        let mut call = CommBuffer::pooled();
+        call.put_u32(OP_CACHE_REGISTER);
+        call.put_u64(coh.nonce);
+        call.put_door(cb);
+        let msg = call.into_message();
+        let sent: Vec<DoorId> = msg.doors.clone();
+        let reply = match self.ctx.domain().call(self.server_door, msg) {
+            Ok(r) => r,
+            Err(e) => {
+                // A failed call may have left the shipped copy in our table
+                // (identifiers are validated before any is moved); slots
+                // are never reused, so a stale delete is harmless.
+                for d in sent {
+                    let _ = self.ctx.domain().delete_door(d);
+                }
+                return Err(e);
+            }
+        };
+        let mut reply = CommBuffer::from_message(reply);
+        let parsed = (|| -> Result<(u64, u64)> {
+            if reply.get_u8()? != STATUS_OK {
+                return Err(SpringError::Remote("cache.register refused".into()));
+            }
+            Ok((reply.get_u64()?, reply.get_u64()?))
+        })();
+        let (epoch, lease) =
+            parsed.map_err(|e| DoorError::Handler(format!("cache.register reply: {e}")))?;
+        self.note_epoch(epoch, lease);
+        coh.registered.store(true, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 impl DoorHandler for CacheServant {
-    fn invoke(
-        &self,
-        _cctx: &CallCtx,
-        msg: Message,
-    ) -> std::result::Result<Message, spring_kernel::DoorError> {
-        // Parse the operation number without consuming the message.
-        let op = {
-            let mut peek = CommBuffer::from_message(Message::from_bytes(msg.bytes.clone()));
-            peek.get_u32()
-                .map_err(|e| spring_kernel::DoorError::Handler(format!("bad request: {e}")))?
-        };
+    fn invoke(&self, _cctx: &CallCtx, msg: Message) -> std::result::Result<Message, DoorError> {
+        // Read the operation number in place — no payload copy.
+        let op = peek_op(&msg.bytes)
+            .ok_or_else(|| DoorError::Handler("bad request: truncated op word".into()))?;
 
         if self.cacheable.contains(&op) && msg.doors.is_empty() {
-            let key = msg.bytes.clone();
-            if let Some(cached) = self.memo.lock().get(&key) {
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Message::from_bytes(cached.clone()));
+            // Coherence gate: the memo may only be consulted under a live
+            // lease, and only entries tagged with the current epoch count.
+            let mut lease_ok = true;
+            if let Some(coh) = &self.coherence {
+                if now_micros() >= coh.lease_until.load(Ordering::Acquire) {
+                    lease_ok = self.revalidate(coh).is_ok();
+                }
+            }
+            if lease_ok {
+                let epoch = self.known_epoch();
+                let replay = self.memo.lock().lookup(&msg.bytes, epoch);
+                if let Some(bytes) = replay {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    let span = spring_trace::span_start(
+                        "caching.hit",
+                        self.ctx.domain().trace_scope(),
+                        Caching::ID.raw(),
+                    );
+                    let mut reply = Message::from_bytes(bytes);
+                    // Replaying raw bytes dropped the reply envelope; keep
+                    // the caller's trace connected by re-stamping it (the
+                    // kernel only stamps replies left unstamped).
+                    reply.trace = if msg.trace.is_some() {
+                        msg.trace
+                    } else {
+                        span.ctx()
+                    };
+                    return Ok(reply);
+                }
             }
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            // Tag with the epoch known *before* the read so a racing
+            // invalidation marks the entry stale rather than the reverse.
+            let epoch_before = self.known_epoch();
+            let key = msg.bytes.clone();
             let reply = self.ctx.domain().call(self.server_door, msg)?;
             // Only cache successful, capability-free replies.
             if reply.doors.is_empty() && reply.bytes.first() == Some(&STATUS_OK) {
-                self.memo.lock().insert(key, reply.bytes.clone());
+                let evicted = self
+                    .memo
+                    .lock()
+                    .insert(key, reply.bytes.clone(), epoch_before);
+                if evicted {
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Ok(reply)
         } else {
@@ -369,18 +1185,87 @@ impl DoorHandler for CacheServant {
             // invalidate (write-through).
             self.stats.forwards.fetch_add(1, Ordering::Relaxed);
             let reply = self.ctx.domain().call(self.server_door, msg)?;
-            let mut memo = self.memo.lock();
-            if !memo.is_empty() {
+            let cleared = self.memo.lock().clear();
+            if cleared > 0 {
                 self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
-                memo.clear();
             }
             Ok(reply)
         }
     }
 
     fn unreferenced(&self) {
-        // Last client detached: drop the memo and our server identifier.
+        // Last client detached: drop the memo, unhook from the broadcast
+        // set (best effort — a lost detach is reaped via the unknown-nonce
+        // reply on the server's next broadcast), and release our doors.
+        if let Some(coh) = &self.coherence {
+            coh.registry.remove(coh.nonce);
+            let mut call = CommBuffer::pooled();
+            call.put_u32(OP_CACHE_DETACH);
+            call.put_u64(coh.nonce);
+            let _ = self
+                .ctx
+                .domain()
+                .call(self.server_door, call.into_message());
+            let _ = self.ctx.domain().delete_door(coh.callback_door);
+        }
         self.memo.lock().clear();
         let _ = self.ctx.domain().delete_door(self.server_door);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_lru_eviction() {
+        let mut memo = Memo::new(2);
+        assert!(!memo.insert(vec![1], vec![10], 0));
+        assert!(!memo.insert(vec![2], vec![20], 0));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert_eq!(memo.lookup(&[1], 0), Some(vec![10]));
+        assert!(memo.insert(vec![3], vec![30], 0));
+        assert_eq!(memo.lookup(&[2], 0), None);
+        assert_eq!(memo.lookup(&[1], 0), Some(vec![10]));
+        assert_eq!(memo.lookup(&[3], 0), Some(vec![30]));
+        // Re-inserting an existing key never evicts.
+        assert!(!memo.insert(vec![1], vec![11], 0));
+    }
+
+    #[test]
+    fn memo_epoch_tagging() {
+        let mut memo = Memo::new(8);
+        memo.insert(vec![1], vec![10], 1);
+        memo.insert(vec![2], vec![20], 2);
+        // An entry read under an older epoch is never served.
+        assert_eq!(memo.lookup(&[1], 2), None);
+        assert_eq!(memo.lookup(&[2], 2), Some(vec![20]));
+        assert_eq!(memo.drop_stale(2), 1);
+        assert_eq!(memo.lookup(&[2], 2), Some(vec![20]));
+    }
+
+    #[test]
+    fn peek_op_reads_in_place() {
+        assert_eq!(peek_op(&7u32.to_le_bytes()), Some(7));
+        assert_eq!(peek_op(&[1, 2, 3]), None);
+        assert_eq!(peek_op(&[]), None);
+        let mut long = OP_ATTACH.to_le_bytes().to_vec();
+        long.extend_from_slice(&[9; 64]);
+        assert_eq!(peek_op(&long), Some(OP_ATTACH));
+    }
+
+    #[test]
+    fn protocol_ops_are_distinct() {
+        let ops = [
+            OP_ATTACH,
+            OP_CACHE_REGISTER,
+            OP_CACHE_EPOCH,
+            OP_CACHE_DETACH,
+        ];
+        for (i, a) in ops.iter().enumerate() {
+            for b in &ops[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

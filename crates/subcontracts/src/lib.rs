@@ -45,7 +45,7 @@ pub mod txn;
 
 mod setup;
 
-pub use caching::{CacheManager, Caching};
+pub use caching::{CacheManager, CacheStats, Caching, CoherentStats};
 pub use cluster::{Cluster, ClusterServer};
 pub use dedup::{DedupStats, ReplyCache};
 pub use priority::Priority;

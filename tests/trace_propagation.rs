@@ -203,6 +203,104 @@ fn one_trace_spans_all_hops_and_retry_is_a_failed_sibling() {
     assert_eq!(serve.event.scope >> 32, server_node_id);
 }
 
+/// A reply served out of the cache's memo must stay inside the caller's
+/// trace: the memoised bytes were recorded under the *original* miss's
+/// envelope, so replaying them used to hand the caller a reply stamped with
+/// a foreign (already-finished) trace context, disconnecting the hit from
+/// the invocation that asked for it.
+#[test]
+fn cache_hits_stay_in_the_callers_trace() {
+    let _gate = GATE.lock().unwrap();
+    let net = Network::new(NetConfig::default());
+    let server_node = net.add_node("file-machine");
+    let client_node = net.add_node("cache-machine");
+    let server_ctx = ctx_on(server_node.kernel(), "fileserver");
+    let client_ctx = ctx_on(client_node.kernel(), "client");
+    let mgr_ctx = ctx_on(client_node.kernel(), "manager");
+    spring::services::register_fs_types(&client_ctx);
+
+    let fileserver = spring::services::FileServer::new(&server_ctx, "cache_manager");
+    fileserver.put("data", b"memoised contents");
+    let obj = fileserver.export_cacheable("data").unwrap();
+
+    let manager = spring::services::file_cache_manager(&mgr_ctx);
+    client_ctx.set_resolver(Arc::new(HealingResolver {
+        net: net.clone(),
+        source: manager.export().unwrap(),
+        ctx: client_ctx.clone(),
+    }));
+    let shipped = ship_object(
+        &*net,
+        obj,
+        &client_ctx,
+        &spring::services::fs::CACHEABLE_FILE_TYPE,
+    )
+    .unwrap();
+    let file = spring::services::fs::CacheableFile::from_obj(shipped).unwrap();
+
+    // First read misses and populates the memo; untraced warm-up.
+    assert_eq!(file.read(0, 8).unwrap(), b"memoised");
+
+    spring::trace::reset();
+    spring::trace::set_enabled(true);
+    let outcome = file.read(0, 8);
+    spring::trace::set_enabled(false);
+    assert_eq!(outcome.unwrap(), b"memoised");
+
+    let forest = spring::trace::span_forest();
+    assert_eq!(
+        forest.len(),
+        1,
+        "the memo replay must not introduce a second trace: {}",
+        spring::trace::render_text()
+    );
+    let (_, roots) = &forest[0];
+    assert_eq!(roots.len(), 1, "a single root span");
+    let root = &roots[0];
+    assert_eq!(
+        root.event.key, "invoke",
+        "the client stub's span is the root"
+    );
+
+    // The hit is recorded on the caching machine, inside this trace —
+    // nested under the local door call into the cache servant.
+    let hits = find_all(roots, "caching.hit");
+    assert_eq!(
+        hits.len(),
+        1,
+        "the second read is served from the memo:\n{}",
+        spring::trace::render_text()
+    );
+    let client_node_id = client_node.id().raw();
+    assert_eq!(hits[0].event.scope >> 32, client_node_id);
+    let doors = find_all(roots, "door_call");
+    assert!(
+        doors
+            .iter()
+            .any(|d| d.event.span == hits[0].event.parent && d.event.scope >> 32 == client_node_id),
+        "the hit nests in the door call on the caching machine:\n{}",
+        spring::trace::render_text()
+    );
+
+    // Nothing reached the file server: no server-side dispatch span, and no
+    // span at all recorded on the server machine.
+    assert!(find_all(roots, "caching.serve").is_empty());
+    let server_node_id = server_node.id().raw();
+    fn all<'a>(nodes: &'a [SpanNode], out: &mut Vec<&'a SpanNode>) {
+        for n in nodes {
+            out.push(n);
+            all(&n.children, out);
+        }
+    }
+    let mut every = Vec::new();
+    all(roots, &mut every);
+    assert!(
+        every.iter().all(|n| n.event.scope >> 32 != server_node_id),
+        "a memo hit must not touch the server machine:\n{}",
+        spring::trace::render_text()
+    );
+}
+
 #[test]
 fn disabled_tracing_records_nothing() {
     let _gate = GATE.lock().unwrap();
