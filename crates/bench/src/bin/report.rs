@@ -3,23 +3,23 @@
 //! Usage: `cargo run --release -p spring-bench --bin report [--quick]
 //! [--smoke] [--trace] [--json-dir DIR]`
 //!
-//! One section per experiment from DESIGN.md §4 (E1–E12). Timings are
+//! One section per experiment from DESIGN.md §4 (E1–E14). Timings are
 //! machine-dependent; the accompanying counters (doors created, messages
 //! sent, bytes copied) are not, and EXPERIMENTS.md records both.
 //!
 //! Flags:
 //!
 //! * `--quick` — fewer iterations per timed loop (local sanity runs).
-//! * `--smoke` — E1/E1t/E4 only, with tiny iteration counts; the CI
+//! * `--smoke` — E1/E1t/E4/E14 only, with tiny iteration counts; the CI
 //!   per-push mode whose sole purpose is producing `BENCH_e1.json` /
-//!   `BENCH_e1t.json` / `BENCH_e4.json` and proving the harness still
-//!   runs.
+//!   `BENCH_e1t.json` / `BENCH_e4.json` / `BENCH_e14.json` and proving
+//!   the harness still runs.
 //! * `--trace` — enable distributed tracing for the run, so the JSON
 //!   output carries per-subcontract latency histograms (slower; not the
 //!   configuration EXPERIMENTS.md records).
-//! * `--json-dir DIR` — write the machine-readable results of E1, E1t and
-//!   E4 to `DIR/BENCH_e1.json`, `DIR/BENCH_e1t.json` and
-//!   `DIR/BENCH_e4.json`.
+//! * `--json-dir DIR` — write the machine-readable results of E1, E1t, E4
+//!   and E14 to `DIR/BENCH_e1.json`, `DIR/BENCH_e1t.json`,
+//!   `DIR/BENCH_e4.json` and `DIR/BENCH_e14.json`.
 
 use spring_bench::report;
 use spring_trace::json::Json;
@@ -62,6 +62,7 @@ fn main() {
     let e1 = report::e1_null_call(iters);
     let e1t = report::e1_threaded(if smoke { 200 } else { iters });
     let e4 = report::e4_caching(smoke || quick);
+    let e14 = report::e14_pipeline(smoke || quick);
 
     if !smoke {
         report::e2_transmit(iters);
@@ -81,6 +82,7 @@ fn main() {
         write_json(&dir, "BENCH_e1.json", &e1);
         write_json(&dir, "BENCH_e1t.json", &e1t);
         write_json(&dir, "BENCH_e4.json", &e4);
+        write_json(&dir, "BENCH_e14.json", &e14);
     }
 
     println!();

@@ -72,6 +72,22 @@ pub fn ping(obj: &SpringObj) -> Result<()> {
     }
 }
 
+/// The asynchronous stub path for `ping`: issues the call through the
+/// pipeline subcontract and returns its promise without blocking.
+pub fn ping_async(obj: &SpringObj) -> Result<spring_subcontracts::Promise> {
+    let call = obj.start_call(OP_PING)?;
+    spring_subcontracts::Pipeline::invoke_async(obj, call)
+}
+
+/// Collects a [`ping_async`] promise, decoding the reply like [`ping`].
+pub fn ping_collect(promise: spring_subcontracts::Promise) -> Result<()> {
+    let mut reply = promise.wait()?;
+    match decode_reply_status(&mut reply)? {
+        ReplyStatus::Ok => Ok(()),
+        ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
+    }
+}
+
 /// The general stub path for `echo`.
 pub fn echo(obj: &SpringObj, payload: &[u8]) -> Result<Vec<u8>> {
     let mut call = obj.start_call(OP_ECHO)?;

@@ -13,8 +13,8 @@ use spring_naming::{NameClient, NameServer, NAMING_CONTEXT_TYPE};
 use spring_net::{NetConfig, Network};
 use spring_services::{file_cache_manager, fs, FileServer};
 use spring_subcontracts::{
-    standard_library, Caching, Cluster, ClusterServer, Reconnectable, ReplicaGroup, Replicon,
-    RepliconServer, RetryPolicy, Shmem, Simplex, Singleton,
+    standard_library, Caching, Cluster, ClusterServer, Pipeline, Reconnectable, ReplicaGroup,
+    Replicon, RepliconServer, RetryPolicy, Shmem, Simplex, Singleton,
 };
 use subcontract::{
     ship_object, ship_object_copy, unmarshal_object, DomainCtx, KernelTransport, LibraryStore,
@@ -24,7 +24,9 @@ use subcontract::{
 use spring_subcontracts::stream::{FrameOutcome, Stream};
 use spring_trace::json::Json;
 
-use crate::fixtures::{ctx_on, echo, ping, FusedPing, PingServant, RawDoor, PINGER_TYPE};
+use crate::fixtures::{
+    ctx_on, echo, ping, ping_async, ping_collect, FusedPing, PingServant, RawDoor, PINGER_TYPE,
+};
 use crate::timing::{fmt_ns, ns_per_iter, time_once};
 
 fn servant() -> Arc<PingServant> {
@@ -1149,4 +1151,119 @@ pub fn e13_stream(iters: u64) {
         stats.received(),
         stats.missing()
     );
+}
+
+/// E14 — pipelined invocation plus per-link batching: N overlapping calls
+/// share wire frames, so a latency-bound burst approaches one round trip
+/// instead of N.
+///
+/// Two arms: a 1 ms-latency link (the latency-bound regime, where the
+/// speedup should approach the burst size) and a zero-latency link (the
+/// overhead-bound regime, where pipelining must at least not lose). The
+/// network counters report how many calls actually shared frames.
+pub fn e14_pipeline(smoke: bool) -> Json {
+    header("E14: pipelined invocation + per-link batching (paper §8.4 spirit)");
+    const CALLS: usize = 8;
+    let rounds = if smoke { 3 } else { 10 };
+
+    let run_arm = |latency: Duration| -> (f64, f64, spring_net::NetStatsSnapshot) {
+        let net = Network::new(NetConfig::with_latency(latency));
+        let server_node = net.add_node("e14-server");
+        let client_node = net.add_node("e14-client");
+        let server_ctx = ctx_on(server_node.kernel(), "server");
+        let client_ctx = ctx_on(client_node.kernel(), "client");
+        let obj = Pipeline::export(&server_ctx, servant()).unwrap();
+        let client_obj = ship_object(&*net, obj, &client_ctx, &PINGER_TYPE).unwrap();
+
+        // Warm up both paths: fabricate the proxy, spawn the worker pool,
+        // prime the buffer and slot pools.
+        ping(&client_obj).unwrap();
+        let warm: Vec<_> = (0..CALLS)
+            .map(|_| ping_async(&client_obj).unwrap())
+            .collect();
+        for p in warm {
+            ping_collect(p).unwrap();
+        }
+
+        let mut sequential_ns = 0f64;
+        let mut pipelined_ns = 0f64;
+        let before = net.stats();
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..CALLS {
+                ping(&client_obj).unwrap();
+            }
+            sequential_ns += t0.elapsed().as_nanos() as f64;
+
+            let t0 = Instant::now();
+            let promises: Vec<_> = (0..CALLS)
+                .map(|_| ping_async(&client_obj).unwrap())
+                .collect();
+            for p in promises {
+                ping_collect(p).unwrap();
+            }
+            pipelined_ns += t0.elapsed().as_nanos() as f64;
+        }
+        let delta = net.stats().since(&before);
+        (
+            sequential_ns / rounds as f64,
+            pipelined_ns / rounds as f64,
+            delta,
+        )
+    };
+
+    let (seq_1ms, pipe_1ms, stats_1ms) = run_arm(Duration::from_millis(1));
+    let speedup = seq_1ms / pipe_1ms;
+    let (seq_0, pipe_0, _) = run_arm(Duration::ZERO);
+    let ratio_0 = seq_0 / pipe_0;
+
+    println!(
+        "{:<26} {:>16} {:>16} {:>10}",
+        "arm", "sequential/burst", "pipelined/burst", "ratio"
+    );
+    println!(
+        "{:<26} {:>16} {:>16} {:>9.2}x",
+        format!("{CALLS} calls @ 1ms latency"),
+        fmt_ns(seq_1ms),
+        fmt_ns(pipe_1ms),
+        speedup
+    );
+    println!(
+        "{:<26} {:>16} {:>16} {:>9.2}x",
+        format!("{CALLS} calls @ 0 latency"),
+        fmt_ns(seq_0),
+        fmt_ns(pipe_0),
+        ratio_0
+    );
+    println!(
+        "1ms arm ({} bursts each way): {} flushes, {} calls batched, {} unbatched",
+        rounds, stats_1ms.batch_flushes, stats_1ms.calls_batched, stats_1ms.calls_unbatched
+    );
+
+    Json::obj([
+        ("experiment", Json::from("e14_pipeline")),
+        ("paper_sections", Json::from("8.4")),
+        ("rounds", Json::from(rounds as u64)),
+        ("calls_per_burst", Json::from(CALLS as u64)),
+        (
+            "latency_1ms",
+            Json::obj([
+                ("sequential_ns", Json::from(seq_1ms)),
+                ("pipelined_ns", Json::from(pipe_1ms)),
+                ("speedup", Json::from(speedup)),
+                ("batch_flushes", Json::from(stats_1ms.batch_flushes)),
+                ("calls_batched", Json::from(stats_1ms.calls_batched)),
+                ("calls_unbatched", Json::from(stats_1ms.calls_unbatched)),
+            ]),
+        ),
+        (
+            "zero_latency",
+            Json::obj([
+                ("sequential_ns", Json::from(seq_0)),
+                ("pipelined_ns", Json::from(pipe_0)),
+                ("ratio", Json::from(ratio_0)),
+            ]),
+        ),
+        ("tracing", tracing_json()),
+    ])
 }

@@ -1,0 +1,268 @@
+//! Per-link call batching: coalescing concurrent forwarded calls into one
+//! wire frame.
+//!
+//! Every (source node, destination node) pair owns a [`LinkBatcher`].
+//! Callers hand it their wire-form call and block until a reply (or error)
+//! lands in their [`CallSlot`]. The first caller to find the queue empty
+//! becomes the *leader* for the frame now forming: it waits — bounded by
+//! the flush policy below — for more calls to join, then takes the whole
+//! queue and ships it as one frame. Followers just park on their slot.
+//!
+//! Leadership is per *frame*, not per link: while a leader is off shipping
+//! its frame (sleeping out the simulated latency, executing the batch's
+//! calls), the next arrival finds an empty queue and starts forming the
+//! next frame concurrently. A link therefore carries as many concurrent
+//! frames as it has concurrent callers, exactly like the unbatched path —
+//! batching only ever *merges* calls that would have overlapped anyway.
+//!
+//! The flush policy is driven by the kernel's pipelining hints
+//! ([`spring_kernel::batching`]): a frame keeps coalescing only while more
+//! pipelined calls are announced than are already queued, no collector has
+//! signalled urgency since the frame started forming, and the size/count/
+//! linger budgets still have room. A plain synchronous call (nothing
+//! announced) flushes immediately, so the batcher is invisible to
+//! non-pipelined traffic.
+
+use std::cell::RefCell;
+use std::mem;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use spring_kernel::{batching, DoorError, Message};
+
+use crate::server::WireMessage;
+
+/// Flush budgets, snapshotted from [`crate::NetConfig`] by the caller.
+#[derive(Clone, Copy)]
+pub(crate) struct BatchBudget {
+    pub max_calls: usize,
+    pub max_bytes: usize,
+    pub linger: Duration,
+}
+
+/// One call riding in a frame: its request in wire form, the export-table
+/// entries freshly pinned for it, the slot its caller is parked on, and —
+/// filled in by the shipper — the staged reply.
+pub(crate) struct PendingEntry {
+    /// Export-table index of the target door on the destination node.
+    pub export: u64,
+    /// The request, until the shipper takes it for delivery.
+    pub wire: Option<WireMessage>,
+    /// Export ids freshly pinned by `to_wire_tracked` for this request;
+    /// released if the frame never delivers.
+    pub fresh: Vec<u64>,
+    /// Where the caller waits for the outcome.
+    pub slot: Arc<CallSlot>,
+    /// The executed call's reply, staged between execution and the reply
+    /// frame.
+    pub reply: Option<Message>,
+    /// The reply in wire form, staged for the reply hop.
+    pub reply_wire: Option<WireMessage>,
+    /// Export ids freshly pinned for the reply; released if the reply frame
+    /// is lost.
+    pub reply_fresh: Vec<u64>,
+}
+
+/// A one-shot rendezvous between a queued caller and the frame shipper.
+pub(crate) struct CallSlot {
+    outcome: Mutex<Option<Result<Message, DoorError>>>,
+    cv: Condvar,
+}
+
+impl CallSlot {
+    fn new() -> CallSlot {
+        CallSlot {
+            outcome: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Delivers the call's outcome. First write wins; the shipper's
+    /// backstop fill is a no-op on slots already settled.
+    pub fn fulfill(&self, outcome: Result<Message, DoorError>) {
+        let mut slot = lock(&self.outcome);
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Settles the slot with an abort error if nothing has been delivered
+    /// yet — the shipper's backstop, constructed lazily so settled slots
+    /// (the universal case) cost nothing.
+    pub fn abort_if_unsettled(&self) {
+        let mut slot = lock(&self.outcome);
+        if slot.is_none() {
+            *slot = Some(Err(DoorError::Comm("batch frame aborted".into())));
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_take(&self) -> Result<Message, DoorError> {
+        let mut slot = lock(&self.outcome);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+thread_local! {
+    /// Recycled call slots: a steady-state caller reuses the slot from its
+    /// previous call instead of allocating a fresh `Arc` per call.
+    static SLOT_POOL: RefCell<Vec<Arc<CallSlot>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_slot() -> Arc<CallSlot> {
+    SLOT_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_else(|| Arc::new(CallSlot::new()))
+}
+
+fn give_slot(slot: Arc<CallSlot>) {
+    // Only a slot nobody else still references may be reused, and only
+    // once drained of any backstop outcome.
+    if Arc::strong_count(&slot) == 1 {
+        lock(&slot.outcome).take();
+        SLOT_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < 8 {
+                pool.push(slot);
+            }
+        });
+    }
+}
+
+struct BatchState {
+    /// The frame currently forming.
+    forming: Vec<PendingEntry>,
+    forming_bytes: usize,
+    /// Whether a leader is already collecting the forming frame.
+    leader_present: bool,
+    /// When the forming frame started, for the linger budget.
+    started: Instant,
+    /// Urgency epoch sampled when the forming frame started.
+    urgent_at_start: u64,
+    /// Recycled queue storage from the previous frame.
+    spare: Vec<PendingEntry>,
+}
+
+/// The batcher for one (source, destination) link.
+pub(crate) struct LinkBatcher {
+    state: Mutex<BatchState>,
+    /// Wakes the leader: new arrivals and urgency bumps notify here.
+    arrivals: Condvar,
+}
+
+impl Default for LinkBatcher {
+    fn default() -> Self {
+        LinkBatcher {
+            state: Mutex::new(BatchState {
+                forming: Vec::new(),
+                forming_bytes: 0,
+                leader_present: false,
+                started: Instant::now(),
+                urgent_at_start: 0,
+                spare: Vec::new(),
+            }),
+            arrivals: Condvar::new(),
+        }
+    }
+}
+
+impl LinkBatcher {
+    /// Queues one wire-form call and blocks until its outcome arrives.
+    ///
+    /// `ship` is invoked (on the leader's thread, with no batcher lock
+    /// held) with the full frame once the flush policy fires; it must
+    /// settle every entry's slot.
+    pub fn submit(
+        &self,
+        export: u64,
+        wire: WireMessage,
+        fresh: Vec<u64>,
+        budget: BatchBudget,
+        ship: &dyn Fn(&mut [PendingEntry]),
+    ) -> Result<Message, DoorError> {
+        let slot = take_slot();
+        let wire_len = wire.bytes.len();
+        let mut state = lock(&self.state);
+        let leading = !state.leader_present;
+        if leading {
+            state.leader_present = true;
+            state.started = Instant::now();
+            state.urgent_at_start = batching::urgent_epoch();
+        }
+        state.forming.push(PendingEntry {
+            export,
+            wire: Some(wire),
+            fresh,
+            slot: slot.clone(),
+            reply: None,
+            reply_wire: None,
+            reply_fresh: Vec::new(),
+        });
+        state.forming_bytes += wire_len;
+
+        if !leading {
+            // The leader may now have enough calls to flush.
+            self.arrivals.notify_all();
+            drop(state);
+            let outcome = slot.wait_take();
+            give_slot(slot);
+            return outcome;
+        }
+
+        // Leader: linger (bounded) for pipelined company, then ship.
+        loop {
+            if Self::should_flush(&state, budget) {
+                break;
+            }
+            let remaining = budget.linger.saturating_sub(state.started.elapsed());
+            let (relocked, _) = self
+                .arrivals
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            state = relocked;
+        }
+        let mut frame = mem::take(&mut state.spare);
+        mem::swap(&mut frame, &mut state.forming);
+        state.forming_bytes = 0;
+        state.leader_present = false;
+        drop(state);
+
+        ship(&mut frame);
+
+        // Return the drained storage for the next frame, then collect our
+        // own outcome (already settled by `ship`).
+        frame.clear();
+        lock(&self.state).spare = frame;
+        let outcome = slot.wait_take();
+        give_slot(slot);
+        outcome
+    }
+
+    fn should_flush(state: &BatchState, budget: BatchBudget) -> bool {
+        let queued = state.forming.len();
+        queued >= budget.max_calls
+            || state.forming_bytes >= budget.max_bytes
+            // Everything announced is already aboard (and a plain
+            // synchronous call, with nothing announced, flushes at once).
+            || queued as u64 >= batching::announced()
+            // A collector started waiting after this frame formed.
+            || batching::urgent_epoch() != state.urgent_at_start
+            || state.started.elapsed() >= budget.linger
+    }
+
+    /// Wakes a lingering leader so it re-evaluates the flush policy; wired
+    /// to [`spring_kernel::batching::urge`] by the owning network.
+    pub fn wake(&self) {
+        self.arrivals.notify_all();
+    }
+}

@@ -11,6 +11,14 @@ pub struct NetConfig {
     pub jitter: Duration,
     /// Probability in `[0, 1]` that an invocation message is lost.
     pub drop_prob: f64,
+    /// Maximum number of calls coalesced into one wire frame per link.
+    pub batch_max_calls: usize,
+    /// Maximum total payload bytes coalesced into one wire frame per link.
+    pub batch_max_bytes: usize,
+    /// Longest a partially-filled frame may wait for more pipelined calls.
+    /// Only frames with announced traffic outstanding ever wait at all, so
+    /// plain synchronous calls are never delayed by this budget.
+    pub batch_linger: Duration,
 }
 
 impl Default for NetConfig {
@@ -19,6 +27,9 @@ impl Default for NetConfig {
             latency: Duration::ZERO,
             jitter: Duration::ZERO,
             drop_prob: 0.0,
+            batch_max_calls: 64,
+            batch_max_bytes: 256 * 1024,
+            batch_linger: Duration::from_micros(200),
         }
     }
 }
@@ -51,6 +62,13 @@ pub struct NetStatsSnapshot {
     pub exports: u64,
     /// Proxy doors fabricated on receiving nodes.
     pub proxies_created: u64,
+    /// Wire frames flushed by per-link batchers (each frame is one request
+    /// hop, and — when any call produced a reply — one reply hop).
+    pub batch_flushes: u64,
+    /// Forwarded calls that shared their frame with at least one other call.
+    pub calls_batched: u64,
+    /// Forwarded calls that travelled in a frame of their own.
+    pub calls_unbatched: u64,
 }
 
 impl NetStatsSnapshot {
@@ -63,6 +81,9 @@ impl NetStatsSnapshot {
             calls_forwarded: self.calls_forwarded.saturating_sub(earlier.calls_forwarded),
             exports: self.exports.saturating_sub(earlier.exports),
             proxies_created: self.proxies_created.saturating_sub(earlier.proxies_created),
+            batch_flushes: self.batch_flushes.saturating_sub(earlier.batch_flushes),
+            calls_batched: self.calls_batched.saturating_sub(earlier.calls_batched),
+            calls_unbatched: self.calls_unbatched.saturating_sub(earlier.calls_unbatched),
         }
     }
 }
@@ -77,6 +98,11 @@ mod tests {
         assert!(c.latency.is_zero());
         assert!(c.jitter.is_zero());
         assert_eq!(c.drop_prob, 0.0);
+        // The batching budgets exist by default but only ever delay a call
+        // when pipelined traffic is announced.
+        assert!(c.batch_max_calls >= 2);
+        assert!(c.batch_max_bytes > 0);
+        assert!(!c.batch_linger.is_zero());
         assert_eq!(
             NetConfig::with_latency(Duration::from_millis(2))
                 .latency

@@ -24,6 +24,13 @@
 //! they export (cross-network unreferenced notification is not propagated),
 //! and object-transfer traffic is reliable (loss applies to invocations).
 
+//! Pipelining: concurrent forwarded calls over the same link may share one
+//! wire frame — see [`batch`](crate) internals and DESIGN.md §5.12. The
+//! batcher is policy-invisible to plain synchronous traffic: with no
+//! pipelined calls announced, every call flushes immediately in its own
+//! frame.
+
+mod batch;
 mod config;
 mod network;
 mod server;

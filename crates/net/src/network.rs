@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use spring_kernel::{Domain, DoorError, FaultRng, Kernel, Message, NodeId};
+use spring_trace::keys;
 
+use crate::batch::{BatchBudget, LinkBatcher, PendingEntry};
 use crate::config::{NetConfig, NetStatsSnapshot};
 use crate::server::{NetServer, WireCap};
 
@@ -16,6 +18,8 @@ pub(crate) struct NetworkInner {
     /// copying the config struct under the lock.
     config: RwLock<Arc<NetConfig>>,
     partitions: RwLock<HashSet<(u64, u64)>>,
+    /// One call batcher per (source, destination) link, created on first use.
+    batchers: RwLock<HashMap<(u64, u64), Arc<LinkBatcher>>>,
     rng: Mutex<FaultRng>,
     messages: AtomicU64,
     bytes: AtomicU64,
@@ -23,6 +27,9 @@ pub(crate) struct NetworkInner {
     calls_forwarded: AtomicU64,
     exports: AtomicU64,
     proxies: AtomicU64,
+    batch_flushes: AtomicU64,
+    calls_batched: AtomicU64,
+    calls_unbatched: AtomicU64,
 }
 
 impl NetworkInner {
@@ -52,14 +59,28 @@ impl NetworkInner {
         Ok(())
     }
 
+    /// The batcher for the `src -> dst` link, created on first use.
+    fn link(&self, src: u64, dst: u64) -> Arc<LinkBatcher> {
+        if let Some(batcher) = self.batchers.read().get(&(src, dst)) {
+            return batcher.clone();
+        }
+        self.batchers.write().entry((src, dst)).or_default().clone()
+    }
+
+    /// Wakes every lingering link batcher (the urgency waker).
+    fn wake_batchers(&self) {
+        for batcher in self.batchers.read().values() {
+            batcher.wake();
+        }
+    }
+
     /// One network hop: latency, jitter, accounting, and (for invocation
     /// traffic) probabilistic loss.
     ///
     /// The RNG mutex is taken at most once per hop — the loss roll and the
     /// jitter fraction are sampled together — and on a fault-free network
     /// (no loss, no jitter) it is not taken at all.
-    fn hop(&self, bytes: usize, lossy: bool) -> Result<(), DoorError> {
-        let cfg = Arc::clone(&self.config.read());
+    fn hop(&self, cfg: &NetConfig, bytes: usize, lossy: bool) -> Result<(), DoorError> {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         let roll_loss = lossy && cfg.drop_prob > 0.0;
@@ -84,6 +105,14 @@ impl NetworkInner {
 
     /// Forwards a proxy-door invocation to its home node and returns the
     /// reply. `msg`'s identifiers are owned by `from`'s network server.
+    ///
+    /// The call is queued on its link's batcher: concurrent calls over the
+    /// same link that overlap in time may share one wire frame (one request
+    /// hop, one reply hop), with the flush policy in [`crate::batch`]
+    /// deciding how long to wait for company. A call with no pipelined
+    /// traffic announced flushes immediately in a frame of its own, which
+    /// reproduces the unbatched path exactly — same hops, same loss rolls,
+    /// in the same order.
     pub fn forward_call(
         &self,
         from: &Arc<NetServer>,
@@ -101,7 +130,7 @@ impl NetworkInner {
             spring_trace::current()
         };
         let mut span =
-            spring_trace::span_child_of("net.forward", parent, from.domain.trace_scope(), 0);
+            spring_trace::span_child_of(keys::NET_FORWARD, parent, from.domain.trace_scope(), 0);
         let mut msg = msg;
         if span.ctx().is_some() {
             msg.trace = span.ctx();
@@ -110,58 +139,18 @@ impl NetworkInner {
         let result = (|| {
             self.check_link(from.node.raw(), target.origin)?;
             let (wire, fresh) = from.to_wire_tracked(msg)?;
-            if let Err(e) = self.traced_hop(wire.bytes.len(), true, from.domain.trace_scope()) {
-                // The call never left this node: release the exports pinned
-                // for it, or every lost attempt leaks a pinned door.
-                from.unexport(&fresh);
-                return Err(e);
-            }
-
-            let home = self.server(target.origin)?;
-            let door = home.export_target(target.export)?;
-            let delivered = match home.from_wire(wire) {
-                Ok(d) => d,
-                Err(e) => {
-                    // The call will never execute, so nothing can ever
-                    // reference the exports freshly pinned for it.
-                    from.unexport(&fresh);
-                    return Err(e);
+            let budget = {
+                let cfg = self.config.read();
+                BatchBudget {
+                    max_calls: cfg.batch_max_calls.max(1),
+                    max_bytes: cfg.batch_max_bytes,
+                    linger: cfg.batch_linger,
                 }
             };
-            // Snapshot the landed identifiers: if the kernel call fails
-            // before moving them into the serving domain they would be
-            // dropped undeleted. Slots are never reused, so the deletes are
-            // harmless no-ops when the handler did take ownership.
-            let delivered_doors = delivered.doors.clone();
-            let reply = match home.domain.call(door, delivered) {
-                Ok(r) => r,
-                Err(e) => {
-                    for d in delivered_doors {
-                        let _ = home.domain.delete_door(d);
-                    }
-                    return Err(e);
-                }
-            };
-
-            // The reply travels back across the same link.
-            if let Err(e) = self.check_link(target.origin, from.node.raw()) {
-                // A partition formed while the call executed: the reply
-                // cannot leave, so release its identifiers instead of
-                // stranding them in the network server's domain.
-                for d in reply.doors {
-                    let _ = home.domain.delete_door(d);
-                }
-                return Err(e);
-            }
-            let (wire, fresh) = home.to_wire_tracked(reply)?;
-            if let Err(e) = self.traced_hop(wire.bytes.len(), true, home.domain.trace_scope()) {
-                // A reply lost on the wire must not strand the exports it
-                // pinned — the call already executed and will not be
-                // re-sent on this wire message.
-                home.unexport(&fresh);
-                return Err(e);
-            }
-            from.from_wire(wire)
+            let batcher = self.link(from.node.raw(), target.origin);
+            batcher.submit(target.export, wire, fresh, budget, &|frame| {
+                self.ship_batch(from, target.origin, frame)
+            })
         })();
         if result.is_err() {
             span.fail();
@@ -169,12 +158,173 @@ impl NetworkInner {
         result
     }
 
+    /// Ships one frame of forwarded calls: a single request hop (latency
+    /// charged once, payload bytes summed), per-call delivery and execution
+    /// on the destination node, and a single reply hop for every reply the
+    /// frame produced. Settles every entry's [`CallSlot`].
+    ///
+    /// Partial-failure discipline matches the unbatched path call for call:
+    /// a lost or partitioned request frame releases *every* export freshly
+    /// pinned for *every* call aboard, a failed delivery or execution
+    /// releases only that call's identifiers (the rest of the frame
+    /// proceeds), and a lost reply frame releases the exports pinned by
+    /// every staged reply.
+    fn ship_batch(&self, from: &Arc<NetServer>, origin: u64, frame: &mut [PendingEntry]) {
+        let calls = frame.len() as u64;
+        self.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        if frame.len() > 1 {
+            self.calls_batched.fetch_add(calls, Ordering::Relaxed);
+        } else {
+            self.calls_unbatched.fetch_add(calls, Ordering::Relaxed);
+        }
+        // The per-frame span carries the call count in its scid, so batch
+        // sizes show up in the latency histograms.
+        let mut span = spring_trace::span_start(keys::NET_BATCH, from.domain.trace_scope(), calls);
+
+        // Hoisted per-frame: one config read, one destination lookup.
+        let cfg = Arc::clone(&self.config.read());
+        let home = match (|| {
+            self.check_link(from.node.raw(), origin)?;
+            self.server(origin)
+        })() {
+            Ok(home) => home,
+            Err(e) => {
+                span.fail();
+                for entry in frame.iter_mut() {
+                    from.unexport(&entry.fresh);
+                    entry.slot.fulfill(Err(e.clone()));
+                }
+                return;
+            }
+        };
+
+        let request_bytes: usize = frame
+            .iter()
+            .map(|e| e.wire.as_ref().map_or(0, |w| w.bytes.len()))
+            .sum();
+        if let Err(e) = self.traced_hop(&cfg, request_bytes, true, from.domain.trace_scope()) {
+            // The frame never left this node: every call aboard is lost and
+            // every export pinned for any of them must be released, or each
+            // lost frame leaks one pinned door per capability sent.
+            span.fail();
+            for entry in frame.iter_mut() {
+                from.unexport(&entry.fresh);
+                entry.slot.fulfill(Err(e.clone()));
+            }
+            return;
+        }
+
+        // Deliver and execute each call, in submission order.
+        for entry in frame.iter_mut() {
+            let wire = match entry.wire.take() {
+                Some(w) => w,
+                None => continue,
+            };
+            let door = match home.export_target(entry.export) {
+                Ok(d) => d,
+                Err(e) => {
+                    from.unexport(&entry.fresh);
+                    entry.slot.fulfill(Err(e));
+                    continue;
+                }
+            };
+            let delivered = match home.from_wire(wire) {
+                Ok(d) => d,
+                Err(e) => {
+                    // This call will never execute, so nothing can ever
+                    // reference the exports freshly pinned for it.
+                    from.unexport(&entry.fresh);
+                    entry.slot.fulfill(Err(e));
+                    continue;
+                }
+            };
+            // Snapshot the landed identifiers: if the kernel call fails
+            // before moving them into the serving domain they would be
+            // dropped undeleted. Slots are never reused, so the deletes are
+            // harmless no-ops when the handler did take ownership.
+            let delivered_doors = delivered.doors.clone();
+            match home.domain.call(door, delivered) {
+                Ok(reply) => entry.reply = Some(reply),
+                Err(e) => {
+                    for d in delivered_doors {
+                        let _ = home.domain.delete_door(d);
+                    }
+                    entry.slot.fulfill(Err(e));
+                }
+            }
+        }
+
+        // The replies travel back across the same link, again as one frame.
+        if let Err(e) = self.check_link(origin, from.node.raw()) {
+            // A partition formed while the calls executed: no reply can
+            // leave, so release their identifiers instead of stranding them
+            // in the network server's domain.
+            span.fail();
+            for entry in frame.iter_mut() {
+                if let Some(reply) = entry.reply.take() {
+                    for d in reply.doors {
+                        let _ = home.domain.delete_door(d);
+                    }
+                    entry.slot.fulfill(Err(e.clone()));
+                }
+            }
+            return;
+        }
+        let mut reply_bytes = 0usize;
+        for entry in frame.iter_mut() {
+            if let Some(reply) = entry.reply.take() {
+                match home.to_wire_tracked(reply) {
+                    Ok((wire, fresh)) => {
+                        reply_bytes += wire.bytes.len();
+                        entry.reply_wire = Some(wire);
+                        entry.reply_fresh = fresh;
+                    }
+                    Err(e) => entry.slot.fulfill(Err(e)),
+                }
+            }
+        }
+        if frame.iter().any(|e| e.reply_wire.is_some()) {
+            match self.traced_hop(&cfg, reply_bytes, true, home.domain.trace_scope()) {
+                Ok(()) => {
+                    for entry in frame.iter_mut() {
+                        if let Some(wire) = entry.reply_wire.take() {
+                            entry.slot.fulfill(from.from_wire(wire));
+                        }
+                    }
+                }
+                Err(e) => {
+                    // A reply frame lost on the wire must not strand the
+                    // exports it pinned — the calls already executed and
+                    // these replies will not be re-sent.
+                    span.fail();
+                    for entry in frame.iter_mut() {
+                        if entry.reply_wire.take().is_some() {
+                            home.unexport(&entry.reply_fresh);
+                            entry.slot.fulfill(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Backstop: every caller wakes, even off a path missed above.
+        for entry in frame.iter() {
+            entry.slot.abort_if_unsettled();
+        }
+    }
+
     /// Wraps [`NetworkInner::hop`] in a "net.hop" span; a dropped message
     /// records as a failed span, so retries read as a failed hop followed by
     /// a successful sibling.
-    fn traced_hop(&self, bytes: usize, lossy: bool, scope: u64) -> Result<(), DoorError> {
-        let mut span = spring_trace::span_start("net.hop", scope, 0);
-        let result = self.hop(bytes, lossy);
+    fn traced_hop(
+        &self,
+        cfg: &NetConfig,
+        bytes: usize,
+        lossy: bool,
+        scope: u64,
+    ) -> Result<(), DoorError> {
+        let mut span = spring_trace::span_start(keys::NET_HOP, scope, 0);
+        let result = self.hop(cfg, bytes, lossy);
         if result.is_err() {
             span.fail();
         }
@@ -214,16 +364,20 @@ impl Node {
 /// ```
 pub struct Network {
     inner: Arc<NetworkInner>,
+    /// Keeps the urgency waker registered with the kernel alive for the
+    /// network's lifetime (the registry only holds a `Weak`).
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl Network {
     /// Creates an empty network with the given behaviour.
     pub fn new(config: NetConfig) -> Arc<Network> {
-        Arc::new(Network {
+        let net = Arc::new(Network {
             inner: Arc::new(NetworkInner {
                 nodes: RwLock::new(HashMap::new()),
                 config: RwLock::new(Arc::new(config)),
                 partitions: RwLock::new(HashSet::new()),
+                batchers: RwLock::new(HashMap::new()),
                 rng: Mutex::new(FaultRng::seed_from_u64(0x5u64)),
                 messages: AtomicU64::new(0),
                 bytes: AtomicU64::new(0),
@@ -231,8 +385,24 @@ impl Network {
                 calls_forwarded: AtomicU64::new(0),
                 exports: AtomicU64::new(0),
                 proxies: AtomicU64::new(0),
+                batch_flushes: AtomicU64::new(0),
+                calls_batched: AtomicU64::new(0),
+                calls_unbatched: AtomicU64::new(0),
             }),
-        })
+            waker: Mutex::new(None),
+        });
+        // Lingering batchers re-check their flush policy whenever a
+        // collector signals urgency. Weakly held on both sides: the network
+        // owns the closure, the kernel registry holds a Weak to it.
+        let inner = Arc::downgrade(&net.inner);
+        let waker: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            if let Some(inner) = inner.upgrade() {
+                inner.wake_batchers();
+            }
+        });
+        spring_kernel::batching::register_waker(&waker);
+        *net.waker.lock() = Some(waker);
+        net
     }
 
     /// Adds a machine: a fresh kernel plus its network server domain.
@@ -283,6 +453,9 @@ impl Network {
             calls_forwarded: self.inner.calls_forwarded.load(Ordering::Relaxed),
             exports: self.inner.exports.load(Ordering::Relaxed),
             proxies_created: self.inner.proxies.load(Ordering::Relaxed),
+            batch_flushes: self.inner.batch_flushes.load(Ordering::Relaxed),
+            calls_batched: self.inner.calls_batched.load(Ordering::Relaxed),
+            calls_unbatched: self.inner.calls_unbatched.load(Ordering::Relaxed),
         }
     }
 
@@ -358,8 +531,9 @@ impl Network {
             trace: msg.trace,
             call: msg.call,
         })?;
+        let cfg = Arc::clone(&self.inner.config.read());
         self.inner
-            .traced_hop(wire.bytes.len(), false, src.domain.trace_scope())?;
+            .traced_hop(&cfg, wire.bytes.len(), false, src.domain.trace_scope())?;
         let arrived = dst.from_wire(wire)?;
         let mut doors = Vec::with_capacity(arrived.doors.len());
         let mut pending = arrived.doors.into_iter();

@@ -20,6 +20,13 @@ pub(crate) struct WireCap {
 }
 
 /// A message in wire form.
+///
+/// The payload storage *moves* through the wire boundary rather than being
+/// copied: `to_wire` takes `Message.bytes` by value into this struct and
+/// `from_wire` moves it back out, so a forwarded call's payload is
+/// allocated once (from the thread-local buffer pool) and handed along.
+/// The simulated cross-address-space copy happens in the kernel's
+/// `translate`, where a real system pays it too.
 pub(crate) struct WireMessage {
     pub bytes: Vec<u8>,
     pub caps: Vec<WireCap>,

@@ -15,6 +15,7 @@
 //! | [`Caching`] | §8.2 | server door + cache door + manager name | invocations redirected to a machine-local cache manager |
 //! | [`Reconnectable`] | §8.3 | door identifier + object name | quiet recovery from server crashes by re-resolving the name |
 //! | [`Shmem`] | §5.1.4 | door identifier + shared region | arguments marshalled directly into shared memory |
+//! | [`Pipeline`] | §8.4 spirit | one door identifier | promise-returning async calls; overlapping calls share wire frames |
 //!
 //! The paper's §8.4 *future directions* are implemented too, exactly as
 //! third parties would build them (public API only, distributed as a
@@ -33,6 +34,7 @@
 pub mod caching;
 pub mod cluster;
 pub mod dedup;
+pub mod pipeline;
 pub mod priority;
 pub mod reconnectable;
 pub mod replicon;
@@ -48,6 +50,7 @@ mod setup;
 pub use caching::{CacheManager, CacheStats, Caching, CoherentStats};
 pub use cluster::{Cluster, ClusterServer};
 pub use dedup::{DedupStats, ReplyCache};
+pub use pipeline::{Pipeline, Promise};
 pub use priority::Priority;
 pub use reconnectable::Reconnectable;
 pub use replicon::{ReplicaGroup, Replicon, RepliconServer};

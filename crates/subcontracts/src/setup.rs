@@ -7,6 +7,7 @@ use subcontract::{DomainCtx, Subcontract};
 
 use crate::caching::Caching;
 use crate::cluster::Cluster;
+use crate::pipeline::Pipeline;
 use crate::reconnectable::Reconnectable;
 use crate::replicon::Replicon;
 use crate::shmem::Shmem;
@@ -14,7 +15,7 @@ use crate::simplex::Simplex;
 use crate::singleton::Singleton;
 
 /// Names of the subcontracts in the standard library, in registration order.
-pub const STANDARD_SUBCONTRACT_NAMES: [&str; 7] = [
+pub const STANDARD_SUBCONTRACT_NAMES: [&str; 8] = [
     "singleton",
     "simplex",
     "cluster",
@@ -22,6 +23,7 @@ pub const STANDARD_SUBCONTRACT_NAMES: [&str; 7] = [
     "caching",
     "reconnectable",
     "shmem",
+    "pipeline",
 ];
 
 fn standard_set() -> Vec<Arc<dyn Subcontract>> {
@@ -33,6 +35,7 @@ fn standard_set() -> Vec<Arc<dyn Subcontract>> {
         Caching::new(),
         Reconnectable::new(),
         Shmem::new(),
+        Pipeline::new(),
     ]
 }
 

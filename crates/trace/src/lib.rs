@@ -38,6 +38,23 @@ pub mod ring;
 pub mod span;
 
 pub use ctx::{current, TraceCtx};
+
+/// Well-known span names.
+///
+/// Span keys are `&'static str` by design (the ring stores them without
+/// allocation); these constants keep the producers in `spring-net` and the
+/// assertions in tests/exporters spelling them identically.
+pub mod keys {
+    /// A proxy-door invocation being forwarded to its home node.
+    pub const NET_FORWARD: &str = "net.forward";
+    /// One simulated wire hop (latency, loss, accounting).
+    pub const NET_HOP: &str = "net.hop";
+    /// One batched flush over a link; `scid` carries the number of calls
+    /// that shared the frame.
+    pub const NET_BATCH: &str = "net.batch";
+    /// One attempt of a pipelined invocation.
+    pub const PIPELINE_ATTEMPT: &str = "pipeline.attempt";
+}
 pub use export::{histograms_json, render_text, span_forest, spans_json, SpanNode};
 pub use hist::{HistSnapshot, Histogram};
 pub use ring::{Event, Ring};

@@ -405,3 +405,57 @@ fn identity_free_calls_are_untouched_by_dedup() {
     assert_eq!(state.applied(), 2);
     assert_eq!(state.entries(), vec![7, 7]);
 }
+
+/// The pipelined variant of the exactly-once proof: bursts of overlapping
+/// asynchronous appends, issued through the pipeline subcontract over the
+/// same lossy network. Batching may put several in-flight attempts in one
+/// wire frame (one loss roll kills all of them at once), and each call's
+/// retry loop runs on a worker thread — yet every attempt of one logical
+/// call still shares its nonce, so the server-side reply cache must keep
+/// the log exactly equal to the set of successful appends.
+#[test]
+fn pipelined_bursts_append_exactly_once_under_loss() {
+    use spring::core::{decode_reply_status, op_hash, ReplyStatus};
+    use spring::subcontracts::Pipeline;
+
+    const BURSTS: u64 = 5;
+    const BURST: u64 = 8;
+
+    record_seeds("pipeline_loss", &SEEDS);
+    for seed in SEEDS {
+        let net = Network::new(NetConfig::default());
+        let server_node = net.add_node("server");
+        let client_node = net.add_node("client");
+        let server_ctx = ctx_on(server_node.kernel(), "append-server");
+        let client_ctx = ctx_on(client_node.kernel(), "client");
+        client_ctx.register_subcontract(Pipeline::with_policy(fast_policy()));
+
+        let state = AppendLogState::new();
+        let obj = Pipeline::export(&server_ctx, AppendLogServant::new(state.clone())).unwrap();
+        let client_obj = ship_object_copy(&*net, &obj, &client_ctx, &APPEND_LOG_TYPE).unwrap();
+
+        net.reseed(seed);
+        net.set_config(lossy());
+        let mut succeeded = Vec::new();
+        for burst in 0..BURSTS {
+            let promises: Vec<_> = (0..BURST)
+                .map(|i| {
+                    let value = burst * BURST + i;
+                    let mut call = client_obj.start_call(op_hash("append")).unwrap();
+                    call.put_u64(value);
+                    (value, Pipeline::invoke_async(&client_obj, call).unwrap())
+                })
+                .collect();
+            for (value, promise) in promises {
+                let ok = promise.wait().is_ok_and(|mut reply| {
+                    matches!(decode_reply_status(&mut reply), Ok(ReplyStatus::Ok))
+                });
+                if ok {
+                    succeeded.push(value);
+                }
+            }
+        }
+        net.set_config(NetConfig::default());
+        assert_exactly_once(seed, &state, &succeeded);
+    }
+}

@@ -323,3 +323,116 @@ fn disabled_tracing_records_nothing() {
         "no spans recorded while tracing is off"
     );
 }
+
+/// A pipelined burst stays inside the caller's trace even though every
+/// call runs on a worker thread and several calls share wire frames: each
+/// async invocation records a `pipeline.attempt` span parented under the
+/// span that was current when it was issued, each server-side door call
+/// reattaches under its own call's `net.forward` (per-call identity
+/// survives the shared frame), and the `net.batch` spans' scids — the
+/// per-frame call counts — sum to exactly the number of calls issued.
+#[test]
+fn pipelined_burst_spans_parent_under_the_issuing_span() {
+    let _gate = GATE.lock().unwrap();
+    use spring::subcontracts::Pipeline;
+    const CALLS: usize = 4;
+
+    let net = Network::new(NetConfig {
+        // Generous linger so the burst coalesces; flushing still happens on
+        // the announced-count trigger, not by waiting this out.
+        batch_linger: Duration::from_millis(20),
+        ..NetConfig::default()
+    });
+    let server_node = net.add_node("pipe-server");
+    let client_node = net.add_node("pipe-client");
+    let server_ctx = ctx_on(server_node.kernel(), "server");
+    let client_ctx = ctx_on(client_node.kernel(), "client");
+
+    let obj = Pipeline::export(&server_ctx, Arc::new(Pinger)).unwrap();
+    let client_obj = ship_object(&*net, obj, &client_ctx, &PINGER_TYPE).unwrap();
+
+    // Untraced warm-up spawns the worker pool.
+    let warm: Vec<_> = (0..CALLS)
+        .map(|_| {
+            let call = client_obj.start_call(op_hash("ping")).unwrap();
+            Pipeline::invoke_async(&client_obj, call).unwrap()
+        })
+        .collect();
+    for p in warm {
+        p.wait().unwrap();
+    }
+
+    spring::trace::reset();
+    spring::trace::set_enabled(true);
+    {
+        // The burst is issued under an explicit root, standing in for the
+        // application span a real caller would hold.
+        let _root = spring::trace::span_start("burst.root", 0, 0);
+        let promises: Vec<_> = (0..CALLS)
+            .map(|_| {
+                let call = client_obj.start_call(op_hash("ping")).unwrap();
+                Pipeline::invoke_async(&client_obj, call).unwrap()
+            })
+            .collect();
+        for p in promises {
+            p.wait().unwrap();
+        }
+    }
+    spring::trace::set_enabled(false);
+
+    let forest = spring::trace::span_forest();
+    assert_eq!(
+        forest.len(),
+        1,
+        "worker threads and shared frames must not split the trace: {}",
+        spring::trace::render_text()
+    );
+    let (_, roots) = &forest[0];
+    assert_eq!(roots.len(), 1, "a single root span");
+    let root = &roots[0];
+    assert_eq!(root.event.key, "burst.root");
+
+    let attempts = find_all(roots, "pipeline.attempt");
+    assert_eq!(
+        attempts.len(),
+        CALLS,
+        "one attempt span per pipelined call:\n{}",
+        spring::trace::render_text()
+    );
+    for attempt in &attempts {
+        assert!(!attempt.event.failed, "no faults were injected");
+        assert_eq!(
+            attempt.event.parent, root.event.span,
+            "attempts parent under the span current at issue time"
+        );
+        // Per-call identity survives the shared frame: this call's
+        // server-side door call reattaches under this call's forward span.
+        let subtree = std::slice::from_ref(*attempt);
+        let forward = &find_all(subtree, "net.forward")[0];
+        let server_node_id = server_node.id().raw();
+        let server_door = find_all(roots, "door_call")
+            .into_iter()
+            .any(|d| d.event.scope >> 32 == server_node_id && d.event.parent == forward.event.span);
+        assert!(
+            server_door,
+            "each attempt's server door call parents under its own forward:\n{}",
+            spring::trace::render_text()
+        );
+    }
+
+    // The frame spans carry their call counts; however the burst split,
+    // every call rode exactly one frame.
+    let batches = find_all(roots, "net.batch");
+    assert!(
+        !batches.is_empty() && batches.len() <= CALLS,
+        "between one and {CALLS} frames:\n{}",
+        spring::trace::render_text()
+    );
+    let total: u64 = batches.iter().map(|b| b.event.scid).sum();
+    assert_eq!(
+        total,
+        CALLS as u64,
+        "frame call counts must sum to the burst size:\n{}",
+        spring::trace::render_text()
+    );
+}
