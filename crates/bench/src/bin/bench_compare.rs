@@ -11,6 +11,12 @@
 //!
 //! * `e1`: simplex ns / raw-door ns — the subcontract overhead multiple
 //!   (lower is better). Guards the door-call fast path.
+//! * `e1 flat`: idl-flat ns / fused-stub ns — how close the generated
+//!   validate-in-place stubs stay to the hand-fused floor (lower is
+//!   better). Guards the flat wire format's zero-copy decode path.
+//! * `e1 echo`: flat echo ns / copying echo ns for the same 60-byte struct
+//!   over the same transport (lower is better). The two arms differ only
+//!   in decode strategy, so this guards the in-place win itself.
 //! * `e1t`: max-thread calls/s / 1-thread calls/s, clamped to the host's
 //!   hardware parallelism — throughput scaling under the sharded nucleus
 //!   (higher is better).
@@ -46,6 +52,18 @@ const METRICS: &[Metric] = &[
         extract: e1_overhead_ratio,
     },
     Metric {
+        name: "e1 idl-flat/fused stub ratio",
+        file: "BENCH_e1.json",
+        higher_is_better: false,
+        extract: e1_flat_ratio,
+    },
+    Metric {
+        name: "e1 flat/copying echo ratio",
+        file: "BENCH_e1.json",
+        higher_is_better: false,
+        extract: e1_echo_ratio,
+    },
+    Metric {
         name: "e1t thread-scaling ratio",
         file: "BENCH_e1t.json",
         higher_is_better: true,
@@ -78,6 +96,18 @@ fn e1_overhead_ratio(doc: &Json) -> Option<f64> {
     let raw = arm_ns(doc, "raw_door")?;
     let simplex = arm_ns(doc, "simplex")?;
     (raw > 0.0).then(|| simplex / raw)
+}
+
+fn e1_flat_ratio(doc: &Json) -> Option<f64> {
+    let fused = arm_ns(doc, "fused_stubs")?;
+    let flat = arm_ns(doc, "idl_flat")?;
+    (fused > 0.0).then(|| flat / fused)
+}
+
+fn e1_echo_ratio(doc: &Json) -> Option<f64> {
+    let copy = arm_ns(doc, "idl_copy_echo")?;
+    let flat = arm_ns(doc, "idl_flat_echo")?;
+    (copy > 0.0).then(|| flat / copy)
 }
 
 fn e1t_scaling(doc: &Json) -> Option<f64> {

@@ -4,11 +4,14 @@ use std::sync::Arc;
 
 use spring_buf::CommBuffer;
 use spring_kernel::{CallCtx, Domain, DoorError, DoorHandler, DoorId, Kernel, Message};
-use spring_subcontracts::register_standard;
+use spring_subcontracts::{register_standard, Shmem, Singleton};
 use subcontract::{
-    decode_reply_status, encode_ok, op_hash, Dispatch, DomainCtx, ReplyStatus, Result, ServerCtx,
-    SpringError, SpringObj, TypeInfo, OBJECT_TYPE, STATUS_OK,
+    decode_reply_status, encode_ok, op_hash, ship_object, Dispatch, DomainCtx, KernelTransport,
+    ReplyStatus, Result, ServerCtx, ServerSubcontract, SpringError, SpringObj, TypeInfo,
+    OBJECT_TYPE, STATUS_OK,
 };
+
+use crate::flatbench;
 
 /// The benchmark interface's type.
 pub static PINGER_TYPE: TypeInfo = TypeInfo {
@@ -95,6 +98,136 @@ pub fn echo(obj: &SpringObj, payload: &[u8]) -> Result<Vec<u8>> {
     let mut reply = obj.invoke(call)?;
     match decode_reply_status(&mut reply)? {
         ReplyStatus::Ok => Ok(reply.get_bytes()?),
+        ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
+    }
+}
+
+/// Servant behind the generated flat-path stubs (E1's `idl_flat` arm and
+/// the zero-copy proofs). Every operation is fixed-shape, so both the
+/// argument and result frames take the validate-in-place path.
+#[derive(Debug, Default)]
+pub struct FlatServant;
+
+impl flatbench::FlatPingServant for FlatServant {
+    fn ping(&self, token: u64) -> std::result::Result<u64, flatbench::FlatPingError> {
+        Ok(token.wrapping_add(1))
+    }
+
+    fn echo_sample(
+        &self,
+        s: flatbench::Sample,
+    ) -> std::result::Result<flatbench::Sample, flatbench::FlatPingError> {
+        Ok(s)
+    }
+
+    fn sink_sample(
+        &self,
+        s: flatbench::Sample,
+    ) -> std::result::Result<(), flatbench::FlatPingError> {
+        let _ = s;
+        Ok(())
+    }
+}
+
+/// A representative fixed-shape message for the flat-path fixtures
+/// (60-byte flat frame: nested struct, five scalars, enum, bool).
+pub fn sample_fixture() -> flatbench::Sample {
+    flatbench::Sample {
+        when: flatbench::Stamp {
+            secs: 1_726_000_000,
+            nanos: 987_654_321,
+        },
+        a: 0x1111_1111_1111_1111,
+        b: 0x2222_2222_2222_2222,
+        c: 0x3333_3333_3333_3333,
+        d: 0x4444_4444_4444_4444,
+        seq: 42,
+        kind: 7,
+        urgent: true,
+        m: flatbench::Mode::Active,
+    }
+}
+
+/// Exports the flat-ping servant through singleton and wraps the exported
+/// object directly: client and server share one domain, so every call takes
+/// the kernel's same-domain (D2) delivery, where the payload moves by
+/// ownership transfer instead of a cross-address-space copy.
+pub fn flat_ping_same_domain(kernel: &Kernel) -> flatbench::FlatPing {
+    let ctx = ctx_on(kernel, "flat");
+    let obj = Singleton
+        .export(
+            &ctx,
+            flatbench::FlatPingSkeleton::new(Arc::new(FlatServant)),
+        )
+        .expect("export flat servant");
+    flatbench::FlatPing::from_obj(obj).expect("narrow flat_ping")
+}
+
+/// Exports the flat-ping servant through shmem between two domains:
+/// argument frames cross in shared memory and are flat-decoded in place,
+/// so only the 16-byte descriptor and the reply ride the copying path.
+pub fn flat_ping_shmem(kernel: &Kernel, region_size: usize) -> flatbench::FlatPing {
+    let server = ctx_on(kernel, "flat-server");
+    let client = ctx_on(kernel, "flat-client");
+    client.types().register(&flatbench::FLAT_PING_TYPE);
+    let obj = Shmem::export(
+        &server,
+        flatbench::FlatPingSkeleton::new(Arc::new(FlatServant)),
+        region_size,
+    )
+    .expect("export flat servant via shmem");
+    let obj = ship_object(&KernelTransport, obj, &client, &flatbench::FLAT_PING_TYPE)
+        .expect("ship flat_ping");
+    flatbench::FlatPing::from_obj(obj).expect("narrow flat_ping")
+}
+
+/// The copying counterpart of the flat `echo_sample` path: the same wire
+/// bytes over the same transport, but decoded field-by-field through
+/// `idl_decode` on both sides — the code shape the IDL compiler emitted
+/// before the flat fast path existed. E1 prices the two against each other.
+#[derive(Debug, Default)]
+pub struct CopySampleServant;
+
+impl Dispatch for CopySampleServant {
+    fn type_info(&self) -> &'static TypeInfo {
+        &flatbench::FLAT_PING_TYPE
+    }
+
+    fn dispatch(
+        &self,
+        _sctx: &ServerCtx,
+        op: u32,
+        args: &mut CommBuffer,
+        reply: &mut CommBuffer,
+    ) -> Result<()> {
+        if op == flatbench::flat_ping_ops::ECHO_SAMPLE {
+            let s = flatbench::Sample::idl_decode(args)?;
+            encode_ok(reply);
+            s.idl_encode(reply);
+            Ok(())
+        } else {
+            Err(SpringError::UnknownOp(op))
+        }
+    }
+}
+
+/// Exports [`CopySampleServant`] through singleton in one domain, like
+/// [`flat_ping_same_domain`] but with the copying decode on the serve side.
+pub fn copy_sample_same_domain(kernel: &Kernel) -> SpringObj {
+    let ctx = ctx_on(kernel, "flat-copy");
+    Singleton
+        .export(&ctx, Arc::new(CopySampleServant))
+        .expect("export copying servant")
+}
+
+/// Invokes `echo_sample` with the copying client decode (the pre-flat
+/// general-stub shape), against a [`CopySampleServant`] export.
+pub fn echo_sample_copying(obj: &SpringObj, s: &flatbench::Sample) -> Result<flatbench::Sample> {
+    let mut call = obj.start_call(flatbench::flat_ping_ops::ECHO_SAMPLE)?;
+    s.idl_encode(&mut call);
+    let mut reply = obj.invoke(call)?;
+    match decode_reply_status(&mut reply)? {
+        ReplyStatus::Ok => Ok(flatbench::Sample::idl_decode(&mut reply)?),
         ReplyStatus::UserException(name) => Err(SpringError::UnknownUserException(name)),
     }
 }

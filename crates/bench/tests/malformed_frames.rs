@@ -1,0 +1,171 @@
+//! Malformed-frame rejection: a seeded corpus of truncated, over-length,
+//! and corrupted flat frames must all come back as typed [`WireError`]s —
+//! never a panic, never an out-of-bounds read (the validate-then-cast
+//! contract of DESIGN.md §5.13).
+//!
+//! Each sweep appends its seeds to `target/flat-frame-seeds.txt` so a CI
+//! failure can report exactly which seeds were exercised.
+
+use std::io::Write as _;
+
+use spring_bench::flatbench::{Sample, SampleView};
+use spring_buf::{CommBuffer, WireError};
+
+/// The seeds every sweep runs; kept in one place so the recorded list in
+/// `target/flat-frame-seeds.txt` matches what actually ran.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// Mutations tried per seed.
+const MUTATIONS: usize = 256;
+
+/// Records the seeds a sweep ran, for CI to upload on failure.
+fn record_seeds(suite: &str, seeds: &[u64]) {
+    // Tests run with the package dir as cwd; aim at the workspace-level
+    // target/ so CI's artifact upload finds the file.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
+    let _ = std::fs::create_dir_all(&dir);
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("flat-frame-seeds.txt"))
+    {
+        let list: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(f, "{suite}: mutations={MUTATIONS} seeds={}", list.join(","));
+    }
+}
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants); the high bits are
+/// the usable ones.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A canonical valid frame: marshal the fixture through the real encoder
+/// and take the buffer's bytes (the frame starts at offset 0, which is
+/// 8-aligned, so the flat offsets apply directly).
+fn valid_frame() -> Vec<u8> {
+    let mut buf = CommBuffer::new();
+    spring_bench::fixtures::sample_fixture().idl_encode(&mut buf);
+    let bytes = buf.into_message().bytes;
+    assert_eq!(bytes.len(), Sample::footprint());
+    bytes
+}
+
+#[test]
+fn truncated_and_overlength_frames_fail_with_exact_lengths() {
+    let frame = valid_frame();
+    let footprint = Sample::footprint();
+    for n in 0..footprint {
+        assert_eq!(
+            Sample::validate(&frame[..n]),
+            Err(WireError::Truncated {
+                needed: footprint,
+                actual: n
+            }),
+            "truncation to {n} bytes must be rejected"
+        );
+    }
+    for extra in 1..=16 {
+        let mut long = frame.clone();
+        long.extend(std::iter::repeat_n(0, extra));
+        assert_eq!(
+            Sample::validate(&long),
+            Err(WireError::OverLength {
+                expected: footprint,
+                actual: footprint + extra
+            }),
+            "{extra} trailing bytes must be rejected"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_tags_and_bools_are_typed_errors() {
+    let frame = valid_frame();
+    assert!(Sample::validate(&frame).is_ok());
+
+    // `urgent` is the bool at offset 53; anything but 0/1 is malformed.
+    for value in [2u8, 7, 0x80, 0xFF] {
+        let mut bad = frame.clone();
+        bad[53] = value;
+        assert_eq!(
+            Sample::validate(&bad),
+            Err(WireError::BadBool { offset: 53, value })
+        );
+    }
+
+    // `m` is the 3-variant enum tag at offset 56.
+    for value in [3u32, 4, 1000, u32::MAX] {
+        let mut bad = frame.clone();
+        bad[56..60].copy_from_slice(&value.to_le_bytes());
+        assert_eq!(
+            Sample::validate(&bad),
+            Err(WireError::BadTag { offset: 56, value })
+        );
+    }
+}
+
+#[test]
+fn seeded_mutation_sweep_never_panics_and_errors_are_typed() {
+    let frame = valid_frame();
+    let footprint = Sample::footprint();
+    for &seed in &SEEDS {
+        let mut state = seed;
+        for _ in 0..MUTATIONS {
+            let mutated = match lcg(&mut state) % 3 {
+                0 => {
+                    // Truncate to a strictly shorter prefix.
+                    let n = (lcg(&mut state) as usize) % footprint;
+                    frame[..n].to_vec()
+                }
+                1 => {
+                    // Append 1..=16 junk bytes.
+                    let extra = 1 + (lcg(&mut state) as usize) % 16;
+                    let mut v = frame.clone();
+                    v.extend((0..extra).map(|_| lcg(&mut state) as u8));
+                    v
+                }
+                _ => {
+                    // Corrupt one byte in place (length stays exact, so
+                    // validate may legitimately accept it — most bytes are
+                    // unconstrained scalars).
+                    let pos = (lcg(&mut state) as usize) % footprint;
+                    let mut v = frame.clone();
+                    v[pos] ^= 1 + (lcg(&mut state) as u8 & 0xFE);
+                    v
+                }
+            };
+            // The contract under test: validate never panics, and a
+            // rejection is a typed error. Exercise the view path too —
+            // after a successful validate the accessors must be usable.
+            match SampleView::new(&mutated) {
+                Ok(view) => {
+                    assert_eq!(mutated.len(), footprint);
+                    let owned = view.to_owned();
+                    assert_eq!(owned.when.secs, view.when().secs());
+                }
+                Err(e) => match e {
+                    WireError::Truncated { needed, actual } => {
+                        assert_eq!(needed, footprint);
+                        assert!(actual < footprint);
+                    }
+                    WireError::OverLength { expected, actual } => {
+                        assert_eq!(expected, footprint);
+                        assert!(actual > footprint);
+                    }
+                    WireError::BadTag { offset, .. } => assert_eq!(offset, 56),
+                    WireError::BadBool { offset, value } => {
+                        assert_eq!(offset, 53);
+                        assert!(value > 1);
+                    }
+                },
+            }
+            // Determinism: validating the same bytes twice agrees.
+            assert_eq!(Sample::validate(&mutated), Sample::validate(&mutated));
+        }
+    }
+    record_seeds("flat-frame-mutations", &SEEDS);
+}

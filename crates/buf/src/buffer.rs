@@ -286,6 +286,50 @@ impl CommBuffer {
         Ok(&self.backing.bytes()[start..start + n])
     }
 
+    /// Pads the write position to an 8-byte boundary (zero fill).
+    ///
+    /// Flat (fixed-shape) frames are written starting at an 8-byte-aligned
+    /// buffer offset so that the per-type constant field offsets computed by
+    /// the IDL compiler — which are relative to the frame start — coincide
+    /// with the absolute padding the aligned `put_*` methods insert.
+    pub fn align8(&mut self) {
+        self.align(8);
+    }
+
+    /// Pads the read cursor to an 8-byte boundary, mirroring
+    /// [`CommBuffer::align8`].
+    pub fn skip_align8(&mut self) -> Result<(), BufError> {
+        self.skip_align(8)
+    }
+
+    /// Aligns the read cursor to 8 bytes and consumes *all* remaining bytes,
+    /// returning them as one borrowed slice — the zero-copy entry point for
+    /// flat-frame decoding (validate-then-cast; see `spring_buf::flat`).
+    ///
+    /// The caller validates the slice against a type's footprint and then
+    /// reads fields in place; no payload bytes are copied out of the buffer.
+    pub fn flat_remaining(&mut self) -> Result<&[u8], BufError> {
+        self.skip_align(8)?;
+        // Pooled and shm backings are 8-byte aligned (see
+        // `spring_kernel::pool::PAYLOAD_ALIGN`), so an 8-aligned cursor means
+        // the frame itself starts on an 8-byte address boundary. Flat reads
+        // do not rely on this (they use unaligned-safe loads), but the
+        // invariant is what makes whole-frame casts sound, so check it.
+        #[cfg(debug_assertions)]
+        {
+            let bytes = self.backing.bytes();
+            if !bytes.is_empty() {
+                debug_assert_eq!(
+                    bytes.as_ptr() as usize % crate::flat::FLAT_ALIGN,
+                    0,
+                    "buffer backing lost its 8-byte alignment guarantee"
+                );
+            }
+        }
+        let n = self.remaining();
+        self.take(n)
+    }
+
     prim_impls! {
         put_u8, get_u8, u8;
         put_u16, get_u16, u16;
@@ -347,6 +391,7 @@ impl CommBuffer {
             });
         }
         let raw = self.take(len)?;
+        crate::flat::note_decode_copy(raw.len());
         std::str::from_utf8(raw)
             .map(str::to_owned)
             .map_err(|_| BufError::InvalidUtf8)
@@ -367,7 +412,9 @@ impl CommBuffer {
                 limit: self.remaining() as u64,
             });
         }
-        Ok(self.take(len)?.to_vec())
+        let raw = self.take(len)?;
+        crate::flat::note_decode_copy(raw.len());
+        Ok(raw.to_vec())
     }
 
     /// Appends raw bytes with no length prefix (caller manages framing).
@@ -377,7 +424,9 @@ impl CommBuffer {
 
     /// Reads `n` raw bytes with no length prefix.
     pub fn get_raw(&mut self, n: usize) -> Result<Vec<u8>, BufError> {
-        Ok(self.take(n)?.to_vec())
+        let raw = self.take(n)?;
+        crate::flat::note_decode_copy(raw.len());
+        Ok(raw.to_vec())
     }
 
     /// Writes a sequence length prefix, for use with per-element `put_*`.
@@ -631,6 +680,53 @@ mod tests {
         let (h1, _) = pool::counters();
         assert!(h1 > h0);
         drop(p);
+    }
+
+    #[test]
+    fn flat_remaining_aligns_and_borrows_everything() {
+        let mut b = CommBuffer::new();
+        b.put_u8(0xCC); // Simulated control/status byte before the frame.
+        b.align8();
+        b.put_u64(0x1122_3344_5566_7788);
+        b.put_u32(9);
+        let mut r = CommBuffer::from_message(b.into_message());
+        assert_eq!(r.get_u8().unwrap(), 0xCC);
+        let frame = r.flat_remaining().unwrap();
+        assert_eq!(frame.len(), 12);
+        assert_eq!(crate::flat::get_u64(frame, 0), 0x1122_3344_5566_7788);
+        assert_eq!(crate::flat::get_u32(frame, 8), 9);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn flat_remaining_truncation_is_an_error_not_a_panic() {
+        // One byte, cursor at 0: aligning to 8 needs 7 pad bytes that do
+        // not exist.
+        let mut b = CommBuffer::new();
+        b.put_u8(1);
+        let mut r = CommBuffer::from_message(b.into_message());
+        assert_eq!(r.get_u8().unwrap(), 1);
+        // Cursor at 1, nothing left: align pad exceeds remaining.
+        assert!(matches!(
+            r.flat_remaining().unwrap_err(),
+            BufError::OutOfData { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_copy_counter_moves_only_on_owned_decodes() {
+        let mut b = CommBuffer::new();
+        b.put_u64(7);
+        b.put_bytes(&[1, 2, 3, 4]);
+        b.put_string("hey");
+        let mut r = CommBuffer::from_message(b.into_message());
+        let before = crate::flat::decode_bytes_copied();
+        r.get_u64().unwrap(); // Primitive: not a payload copy.
+        assert_eq!(crate::flat::decode_bytes_copied(), before);
+        r.get_bytes().unwrap();
+        assert_eq!(crate::flat::decode_bytes_copied(), before + 4);
+        r.get_string().unwrap();
+        assert_eq!(crate::flat::decode_bytes_copied(), before + 7);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! ([`CommBuffer::redirect_to_shm`]) so that arguments are marshalled
 //! directly into the region — the paper's §5.1.4 optimization.
 //!
+//! Fixed-shape messages can skip the copying `get_*` path entirely: the
+//! [`flat`] module provides validate-then-cast decoding over
+//! [`CommBuffer::flat_remaining`], where unmarshal is one bounds check plus
+//! in-place field reads with zero payload copies.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,9 +40,11 @@
 
 mod buffer;
 mod error;
+pub mod flat;
 
 pub use buffer::CommBuffer;
 pub use error::BufError;
+pub use flat::WireError;
 /// Re-export of the kernel's buffer pool ([`CommBuffer::pooled`] draws from
 /// it, and dropped heap-backed buffers return to it).
 pub use spring_kernel::pool;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use spring_buf::BufError;
+use spring_buf::{BufError, WireError};
 use spring_kernel::DoorError;
 
 use crate::scid::ScId;
@@ -17,6 +17,8 @@ pub enum SpringError {
     Door(DoorError),
     /// Marshalling or unmarshalling failed.
     Buf(BufError),
+    /// A flat (fixed-shape) frame failed its validate-then-cast check.
+    Wire(WireError),
     /// No subcontract with this identifier is registered, and dynamic
     /// discovery could not locate one either.
     UnknownSubcontract(ScId),
@@ -69,6 +71,7 @@ impl fmt::Display for SpringError {
         match self {
             SpringError::Door(e) => write!(f, "door: {e}"),
             SpringError::Buf(e) => write!(f, "marshal: {e}"),
+            SpringError::Wire(e) => write!(f, "flat frame: {e}"),
             SpringError::UnknownSubcontract(id) => write!(f, "unknown subcontract {id}"),
             SpringError::UnknownLibrary(id) => {
                 write!(f, "no library known for subcontract {id}")
@@ -108,6 +111,12 @@ impl From<DoorError> for SpringError {
 impl From<BufError> for SpringError {
     fn from(e: BufError) -> Self {
         SpringError::Buf(e)
+    }
+}
+
+impl From<WireError> for SpringError {
+    fn from(e: WireError) -> Self {
+        SpringError::Wire(e)
     }
 }
 

@@ -1,0 +1,130 @@
+//! The `FlatMessage` fast path: zero-copy unmarshal for fixed-shape types.
+//!
+//! The copying unmarshal path (`CommBuffer::get_*`) decodes by reading each
+//! field out of the byte stream into owned values — strings and byte
+//! sequences cost a heap copy each. For *fixed-shape* types (every field a
+//! sized primitive, an enum, or a nested fixed-shape struct) the IDL
+//! compiler instead emits a flat layout with compile-time constant field
+//! offsets, and unmarshal collapses to **one bounds check plus a cast**:
+//!
+//! 1. [`spring_buf::CommBuffer::flat_remaining`] aligns the cursor and
+//!    borrows the rest of the frame — no copy;
+//! 2. the type's `validate()` checks the exact footprint and every enum
+//!    tag / boolean byte up front — the one chance for a [`WireError`];
+//! 3. a borrowing view (the "cast") reads fields in place, infallibly.
+//!
+//! The copying path remains the fallback for variable-shape messages
+//! (strings, sequences) and door-carrying messages (capabilities travel
+//! out-of-band and move through kernel translation, so they can never be
+//! part of a flat frame).
+
+use spring_buf::CommBuffer;
+pub use spring_buf::WireError;
+
+use crate::error::{Result, SpringError};
+
+/// A borrowing view over a validated flat frame.
+///
+/// Implemented by the IDL compiler's generated `*View` types. The contract:
+/// `validate` performs all bounds and tag checking; `view` is validate plus
+/// the cast; a view's accessors never fail and never copy payload bytes.
+pub trait FlatMessage<'a>: Sized {
+    /// Exact encoded size in bytes of this fixed-shape type, measured from
+    /// its 8-byte-aligned frame start.
+    const FOOTPRINT: usize;
+
+    /// Checks that `bytes` is exactly one well-formed frame of this type.
+    fn validate(bytes: &[u8]) -> std::result::Result<(), WireError>;
+
+    /// Validates `bytes` and wraps them without copying.
+    fn view(bytes: &'a [u8]) -> std::result::Result<Self, WireError>;
+}
+
+/// Decodes the rest of `buf` as one flat frame of type `T`, in place.
+///
+/// This is the generic entry point for hand-written callers; generated
+/// stubs inline the equivalent sequence. The returned view borrows the
+/// buffer — no payload bytes are copied.
+pub fn decode_flat<'a, T: FlatMessage<'a>>(buf: &'a mut CommBuffer) -> Result<T> {
+    let bytes = buf.flat_remaining()?;
+    T::view(bytes).map_err(SpringError::Wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-rolled flat type standing in for generated code: a `u64`
+    /// followed by a boolean (footprint 9).
+    #[derive(Debug)]
+    struct PairView<'a> {
+        bytes: &'a [u8],
+    }
+
+    impl<'a> FlatMessage<'a> for PairView<'a> {
+        const FOOTPRINT: usize = 9;
+
+        fn validate(bytes: &[u8]) -> std::result::Result<(), WireError> {
+            spring_buf::flat::check_len(bytes, Self::FOOTPRINT)?;
+            spring_buf::flat::check_bool(bytes, 8)?;
+            Ok(())
+        }
+
+        fn view(bytes: &'a [u8]) -> std::result::Result<Self, WireError> {
+            Self::validate(bytes)?;
+            Ok(PairView { bytes })
+        }
+    }
+
+    impl PairView<'_> {
+        fn value(&self) -> u64 {
+            spring_buf::flat::get_u64(self.bytes, 0)
+        }
+
+        fn flag(&self) -> bool {
+            spring_buf::flat::get_bool(self.bytes, 8)
+        }
+    }
+
+    #[test]
+    fn decode_flat_reads_in_place() {
+        let mut b = CommBuffer::new();
+        b.align8();
+        b.put_u64(42);
+        b.put_bool(true);
+        let mut r = CommBuffer::from_message(b.into_message());
+        let copied_before = spring_buf::flat::decode_bytes_copied();
+        let v: PairView<'_> = decode_flat(&mut r).unwrap();
+        assert_eq!(v.value(), 42);
+        assert!(v.flag());
+        assert_eq!(spring_buf::flat::decode_bytes_copied(), copied_before);
+    }
+
+    #[test]
+    fn decode_flat_rejects_malformed() {
+        let mut b = CommBuffer::new();
+        b.put_u64(42); // Truncated: missing the boolean byte.
+        let mut r = CommBuffer::from_message(b.into_message());
+        let err = decode_flat::<PairView<'_>>(&mut r).unwrap_err();
+        assert_eq!(
+            err,
+            SpringError::Wire(WireError::Truncated {
+                needed: 9,
+                actual: 8
+            })
+        );
+
+        let mut b = CommBuffer::new();
+        b.put_u64(42);
+        b.put_u8(7); // Not a boolean.
+        let mut r = CommBuffer::from_message(b.into_message());
+        let err = decode_flat::<PairView<'_>>(&mut r).unwrap_err();
+        assert_eq!(
+            err,
+            SpringError::Wire(WireError::BadBool {
+                offset: 8,
+                value: 7
+            })
+        );
+    }
+}

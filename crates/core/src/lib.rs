@@ -28,6 +28,7 @@
 
 mod ctx;
 mod error;
+mod flat;
 mod loader;
 mod object;
 mod registry;
@@ -42,6 +43,7 @@ mod unmarshal;
 
 pub use ctx::DomainCtx;
 pub use error::{Result, SpringError};
+pub use flat::{decode_flat, FlatMessage, WireError};
 pub use loader::{
     InstalledLibrary, LibraryFactory, LibraryLoader, LibraryNameContext, LibraryStore,
     MapLibraryNames,

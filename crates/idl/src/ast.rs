@@ -49,6 +49,8 @@ pub struct Interface {
     pub subcontract: String,
     /// Source line of the declaration (for diagnostics).
     pub line: usize,
+    /// Source column of the declaration (for diagnostics).
+    pub col: usize,
 }
 
 /// One operation.
@@ -64,6 +66,8 @@ pub struct Operation {
     pub raises: Vec<ScopedName>,
     /// Source line (for diagnostics).
     pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 /// Parameter passing modes.
@@ -99,6 +103,8 @@ pub struct ScopedName {
     pub segments: Vec<String>,
     /// Source line (for diagnostics).
     pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 impl ScopedName {
@@ -150,6 +156,10 @@ pub struct StructDef {
     pub name: String,
     /// Fields in declaration order.
     pub fields: Vec<Field>,
+    /// Source line (for diagnostics).
+    pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 /// A struct or exception field.
@@ -159,6 +169,10 @@ pub struct Field {
     pub ty: Type,
     /// Field name.
     pub name: String,
+    /// Source line (for diagnostics).
+    pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 /// `enum` definition.
@@ -168,6 +182,10 @@ pub struct EnumDef {
     pub name: String,
     /// Variants in declaration order (wire form is the index).
     pub variants: Vec<String>,
+    /// Source line (for diagnostics).
+    pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 /// `exception` definition.
@@ -177,6 +195,10 @@ pub struct ExceptionDef {
     pub name: String,
     /// Fields in declaration order.
     pub fields: Vec<Field>,
+    /// Source line (for diagnostics).
+    pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 /// `typedef` definition.
@@ -186,6 +208,10 @@ pub struct Typedef {
     pub name: String,
     /// Aliased type.
     pub ty: Type,
+    /// Source line (for diagnostics).
+    pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 /// `const` definition.
@@ -197,6 +223,10 @@ pub struct ConstDef {
     pub ty: Type,
     /// Literal value.
     pub value: ConstValue,
+    /// Source line (for diagnostics).
+    pub line: usize,
+    /// Source column (for diagnostics).
+    pub col: usize,
 }
 
 /// Literal values for constants.

@@ -78,34 +78,40 @@ enum Kind {
 struct Checker {
     /// Absolute name -> kind.
     kinds: HashMap<String, Kind>,
+    /// Absolute typedef name -> declaration position, for cycle diagnostics.
+    typedef_pos: HashMap<String, (usize, usize)>,
     out: CheckedSpec,
 }
 
-fn err_at(line: usize, message: impl Into<String>) -> IdlError {
-    IdlError::new(line, 0, message)
+fn err_at(line: usize, col: usize, message: impl Into<String>) -> IdlError {
+    IdlError::new(line, col, message)
 }
 
 impl Checker {
     /// Pass 1: collect every definition's absolute name.
     fn collect(&mut self, scope: &[String], defs: &[Definition]) -> Result<(), IdlError> {
         for def in defs {
-            let (name, kind, line) = match def {
+            let (name, kind, line, col) = match def {
                 Definition::Module(m) => {
                     let mut inner = scope.to_vec();
                     inner.push(m.name.clone());
                     self.collect(&inner, &m.definitions)?;
                     continue;
                 }
-                Definition::Interface(i) => (&i.name, Kind::Interface, i.line),
-                Definition::Struct(s) => (&s.name, Kind::Struct, 0),
-                Definition::Enum(e) => (&e.name, Kind::Enum, 0),
-                Definition::Exception(e) => (&e.name, Kind::Exception, 0),
-                Definition::Typedef(t) => (&t.name, Kind::Typedef, 0),
-                Definition::Const(c) => (&c.name, Kind::Const, 0),
+                Definition::Interface(i) => (&i.name, Kind::Interface, i.line, i.col),
+                Definition::Struct(s) => (&s.name, Kind::Struct, s.line, s.col),
+                Definition::Enum(e) => (&e.name, Kind::Enum, e.line, e.col),
+                Definition::Exception(e) => (&e.name, Kind::Exception, e.line, e.col),
+                Definition::Typedef(t) => (&t.name, Kind::Typedef, t.line, t.col),
+                Definition::Const(c) => (&c.name, Kind::Const, c.line, c.col),
             };
             let abs = abs_name(scope, name);
             if self.kinds.insert(abs.clone(), kind).is_some() {
-                return Err(err_at(line, format!("duplicate definition of {abs:?}")));
+                return Err(err_at(
+                    line,
+                    col,
+                    format!("duplicate definition of {abs:?}"),
+                ));
             }
         }
         Ok(())
@@ -125,39 +131,54 @@ impl Checker {
         }
         Err(err_at(
             name.line,
+            name.col,
             format!("unresolved name {:?}", name.joined()),
         ))
     }
 
-    /// Rewrites a type to absolute form and validates its structure.
-    fn norm_type(&self, scope: &[String], ty: &Type, in_data: bool) -> Result<Type, IdlError> {
+    /// Rewrites a type to absolute form and validates its structure. `at` is
+    /// the position reported for anonymous types (`object`, `sequence<...>`),
+    /// which carry no position of their own.
+    fn norm_type(
+        &self,
+        scope: &[String],
+        ty: &Type,
+        in_data: bool,
+        at: (usize, usize),
+    ) -> Result<Type, IdlError> {
         match ty {
             Type::Named(n) => {
                 let (abs, kind) = self.resolve(scope, n)?;
                 match kind {
                     Kind::Exception => Err(err_at(
                         n.line,
+                        n.col,
                         format!("{abs:?} is an exception; use it in a raises clause"),
                     )),
-                    Kind::Const => {
-                        Err(err_at(n.line, format!("{abs:?} is a constant, not a type")))
-                    }
+                    Kind::Const => Err(err_at(
+                        n.line,
+                        n.col,
+                        format!("{abs:?} is a constant, not a type"),
+                    )),
                     Kind::Interface if in_data => Err(err_at(
                         n.line,
+                        n.col,
                         format!("object type {abs:?} cannot appear inside data types"),
                     )),
                     _ => Ok(Type::Named(ScopedName {
                         segments: abs.split("::").map(str::to_owned).collect(),
                         line: n.line,
+                        col: n.col,
                     })),
                 }
             }
             Type::Object if in_data => Err(err_at(
-                0,
+                at.0,
+                at.1,
                 "`object` cannot appear inside data types".to_owned(),
             )),
             Type::Sequence(inner) => Ok(Type::Sequence(Box::new(
-                self.norm_type(scope, inner, true)?,
+                self.norm_type(scope, inner, true, at)?,
             ))),
             other => Ok(other.clone()),
         }
@@ -200,6 +221,8 @@ impl Checker {
                     let normalized = StructDef {
                         name: s.name.clone(),
                         fields,
+                        line: s.line,
+                        col: s.col,
                     };
                     self.out
                         .structs
@@ -211,6 +234,8 @@ impl Checker {
                     let normalized = ExceptionDef {
                         name: e.name.clone(),
                         fields,
+                        line: e.line,
+                        col: e.col,
                     };
                     self.out
                         .exceptions
@@ -221,24 +246,30 @@ impl Checker {
                     let mut seen = HashSet::new();
                     for v in &e.variants {
                         if !seen.insert(v) {
-                            return Err(err_at(0, format!("duplicate enum variant {v:?}")));
+                            return Err(err_at(
+                                e.line,
+                                e.col,
+                                format!("duplicate enum variant {v:?}"),
+                            ));
                         }
                     }
                     self.out.enums.insert(abs_name(scope, &e.name), e.clone());
                     Definition::Enum(e.clone())
                 }
                 Definition::Typedef(t) => {
-                    let ty = self.norm_type(scope, &t.ty, false)?;
-                    self.out
-                        .typedefs
-                        .insert(abs_name(scope, &t.name), ty.clone());
+                    let ty = self.norm_type(scope, &t.ty, false, (t.line, t.col))?;
+                    let abs = abs_name(scope, &t.name);
+                    self.typedef_pos.insert(abs.clone(), (t.line, t.col));
+                    self.out.typedefs.insert(abs, ty.clone());
                     Definition::Typedef(Typedef {
                         name: t.name.clone(),
                         ty,
+                        line: t.line,
+                        col: t.col,
                     })
                 }
                 Definition::Const(c) => {
-                    let ty = self.norm_type(scope, &c.ty, true)?;
+                    let ty = self.norm_type(scope, &c.ty, true, (c.line, c.col))?;
                     let ok = matches!(
                         (&ty, &c.value),
                         (
@@ -255,7 +286,8 @@ impl Checker {
                     );
                     if !ok {
                         return Err(err_at(
-                            0,
+                            c.line,
+                            c.col,
                             format!("constant {:?} has a value of the wrong type", c.name),
                         ));
                     }
@@ -263,6 +295,8 @@ impl Checker {
                         name: c.name.clone(),
                         ty,
                         value: c.value.clone(),
+                        line: c.line,
+                        col: c.col,
                     })
                 }
                 Definition::Interface(i) => Definition::Interface(self.norm_interface(scope, i)?),
@@ -277,11 +311,17 @@ impl Checker {
             .iter()
             .map(|f| {
                 if !seen.insert(&f.name) {
-                    return Err(err_at(0, format!("duplicate field {:?}", f.name)));
+                    return Err(err_at(
+                        f.line,
+                        f.col,
+                        format!("duplicate field {:?}", f.name),
+                    ));
                 }
                 Ok(Field {
-                    ty: self.norm_type(scope, &f.ty, true)?,
+                    ty: self.norm_type(scope, &f.ty, true, (f.line, f.col))?,
                     name: f.name.clone(),
+                    line: f.line,
+                    col: f.col,
                 })
             })
             .collect()
@@ -295,36 +335,44 @@ impl Checker {
             if kind != Kind::Interface {
                 return Err(err_at(
                     p.line,
+                    p.col,
                     format!("parent {p_abs:?} is not an interface"),
                 ));
             }
             if p_abs == abs {
                 return Err(err_at(
                     p.line,
+                    p.col,
                     format!("interface {abs:?} inherits from itself"),
                 ));
             }
             parents.push(ScopedName {
                 segments: p_abs.split("::").map(str::to_owned).collect(),
                 line: p.line,
+                col: p.col,
             });
         }
 
         let mut ops = Vec::new();
         for op in &i.ops {
-            let ret = self.norm_type(scope, &op.ret, false)?;
+            let ret = self.norm_type(scope, &op.ret, false, (op.line, op.col))?;
             let mut params = Vec::new();
             let mut seen = HashSet::new();
             for p in &op.params {
                 if !seen.insert(&p.name) {
-                    return Err(err_at(op.line, format!("duplicate parameter {:?}", p.name)));
+                    return Err(err_at(
+                        op.line,
+                        op.col,
+                        format!("duplicate parameter {:?}", p.name),
+                    ));
                 }
-                let ty = self.norm_type(scope, &p.ty, false)?;
+                let ty = self.norm_type(scope, &p.ty, false, (op.line, op.col))?;
                 let is_obj = self.is_object_type(&ty) || matches!(ty, Type::Object);
                 match p.mode {
                     ParamMode::Copy if !is_obj => {
                         return Err(err_at(
                             op.line,
+                            op.col,
                             format!(
                                 "`copy` mode requires an object type (parameter {:?})",
                                 p.name
@@ -334,6 +382,7 @@ impl Checker {
                     ParamMode::Out | ParamMode::InOut if is_obj => {
                         return Err(err_at(
                             op.line,
+                            op.col,
                             format!(
                                 "object parameters cannot be out/inout (parameter {:?})",
                                 p.name
@@ -354,12 +403,14 @@ impl Checker {
                 if kind != Kind::Exception {
                     return Err(err_at(
                         r.line,
+                        r.col,
                         format!("{r_abs:?} in raises is not an exception"),
                     ));
                 }
                 raises.push(ScopedName {
                     segments: r_abs.split("::").map(str::to_owned).collect(),
                     line: r.line,
+                    col: r.col,
                 });
             }
             ops.push(Operation {
@@ -368,6 +419,7 @@ impl Checker {
                 params,
                 raises,
                 line: op.line,
+                col: op.col,
             });
         }
 
@@ -377,6 +429,7 @@ impl Checker {
             ops,
             subcontract: i.subcontract.clone(),
             line: i.line,
+            col: i.col,
         })
     }
 
@@ -394,7 +447,11 @@ impl Checker {
             let mut ancestors = Vec::new();
             let mut visiting = HashSet::new();
             ancestry(abs, &decls, &mut ancestors, &mut visiting).map_err(|cycle| {
-                err_at(decl.line, format!("inheritance cycle through {cycle:?}"))
+                err_at(
+                    decl.line,
+                    decl.col,
+                    format!("inheritance cycle through {cycle:?}"),
+                )
             })?;
             // `ancestry` puts `abs` itself last; drop it.
             ancestors.pop();
@@ -409,6 +466,7 @@ impl Checker {
                     if !op_names.insert(op.name.clone()) {
                         return Err(err_at(
                             op.line,
+                            op.col,
                             format!(
                                 "operation {:?} declared more than once in the method set of {abs:?}",
                                 op.name
@@ -419,6 +477,7 @@ impl Checker {
                     if let Some(prev) = op_hashes.insert(hash, op.name.clone()) {
                         return Err(err_at(
                             op.line,
+                            op.col,
                             format!(
                                 "operation hash collision between {:?} and {:?} in {abs:?}; rename one",
                                 prev, op.name
@@ -522,6 +581,7 @@ pub(crate) fn op_hash32(name: &str) -> u32 {
 pub fn check(spec: &Spec) -> Result<CheckedSpec, IdlError> {
     let mut checker = Checker {
         kinds: HashMap::new(),
+        typedef_pos: HashMap::new(),
         out: CheckedSpec::default(),
     };
     checker.collect(&[], &spec.definitions)?;
@@ -535,7 +595,8 @@ pub fn check(spec: &Spec) -> Result<CheckedSpec, IdlError> {
         let mut cur = name.clone();
         loop {
             if !seen.insert(cur.clone()) {
-                return Err(err_at(0, format!("typedef cycle through {name:?}")));
+                let (line, col) = checker.typedef_pos.get(name).copied().unwrap_or((0, 0));
+                return Err(err_at(line, col, format!("typedef cycle through {name:?}")));
             }
             match raw.get(&cur) {
                 Some(Type::Named(n)) if raw.contains_key(&n.joined()) => cur = n.joined(),
@@ -753,6 +814,17 @@ mod tests {
     fn unresolved_names_error() {
         let err = checked("interface x : ghost { };").unwrap_err();
         assert!(err.message.contains("unresolved"));
+    }
+
+    #[test]
+    fn diagnostics_carry_exact_positions() {
+        // Pin the full rendered form — line AND column — so span regressions
+        // (reverting to the old `line:0` placeholders) fail loudly.
+        let err = checked(r#"struct p { long x; long x; };"#).unwrap_err();
+        assert_eq!(err.to_string(), r#"1:20: duplicate field "x""#);
+
+        let err = checked(r#"interface x : ghost { };"#).unwrap_err();
+        assert_eq!(err.to_string(), r#"1:15: unresolved name "ghost""#);
     }
 
     #[test]

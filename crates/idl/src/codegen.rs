@@ -45,6 +45,11 @@ fn upper_snake(s: &str) -> String {
     s.to_uppercase()
 }
 
+/// Byte offset rounded up to `align` (a power of two).
+fn align_up(offset: usize, align: usize) -> usize {
+    (offset + align - 1) & !(align - 1)
+}
+
 /// Escapes Rust keywords in value position (parameters, fields).
 fn sanitize(s: &str) -> String {
     const KEYWORDS: &[&str] = &[
@@ -60,6 +65,10 @@ fn sanitize(s: &str) -> String {
         s.to_owned()
     }
 }
+
+/// A fixed-shape argument record: total footprint plus each parameter's
+/// `(offset, name, type)` in declaration order.
+type FlatArgs = (usize, Vec<(usize, String, Type)>);
 
 /// Indentation-aware output writer.
 struct Out {
@@ -261,6 +270,153 @@ impl Gen<'_> {
         }
     }
 
+    /// Flat (fixed-shape) encoded size and alignment of `ty`, or `None` when
+    /// the type is variable-shape (string, sequence, object) and must take
+    /// the copying path. The flat layout rules: every value is aligned to
+    /// `min(size, 8)` relative to an 8-aligned frame start, nested structs
+    /// are aligned to 8, and enums are a 4-byte tag.
+    fn flat_size_align(&self, ty: &Type) -> Option<(usize, usize)> {
+        match self.underlying(ty) {
+            Type::Bool | Type::Octet => Some((1, 1)),
+            Type::Short | Type::UShort => Some((2, 2)),
+            Type::Long | Type::ULong | Type::Float => Some((4, 4)),
+            Type::LongLong | Type::ULongLong | Type::Double => Some((8, 8)),
+            Type::Named(n) => {
+                let abs = n.joined();
+                if self.checked.enums.contains_key(&abs) {
+                    Some((4, 4))
+                } else if let Some(s) = self.checked.structs.get(&abs) {
+                    let tys: Vec<Type> = s.fields.iter().map(|f| f.ty.clone()).collect();
+                    Some((self.flat_layout(&tys)?.0, 8))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Offsets of the members of a flat record laid out from an 8-aligned
+    /// frame start; returns `(footprint, offsets)`, or `None` if any member
+    /// is variable-shape.
+    fn flat_layout(&self, tys: &[Type]) -> Option<(usize, Vec<usize>)> {
+        let mut cur = 0usize;
+        let mut offsets = Vec::with_capacity(tys.len());
+        for ty in tys {
+            let (size, align) = self.flat_size_align(ty)?;
+            let off = align_up(cur, align);
+            offsets.push(off);
+            cur = off + size;
+        }
+        Some((cur, offsets))
+    }
+
+    fn flat_view_path(&self, abs: &str) -> String {
+        self.path_to(abs, |n| format!("{}View", camel(n)))
+    }
+
+    /// Emits the per-member tag/bool/nested-struct checks of a flat record
+    /// in `b` (the length check is the caller's). Each emitted line ends in
+    /// `?`, so the surrounding function needs a `From<WireError>` error.
+    fn emit_flat_checks(&mut self, b: &str, members: &[(usize, Type)]) {
+        for (off, ty) in members {
+            match self.underlying(ty).clone() {
+                Type::Bool => self
+                    .out
+                    .line(format!("::spring_buf::flat::check_bool({b}, {off})?;")),
+                Type::Named(n) => {
+                    let abs = n.joined();
+                    if let Some(e) = self.checked.enums.get(&abs) {
+                        let k = e.variants.len();
+                        self.out
+                            .line(format!("::spring_buf::flat::check_tag({b}, {off}, {k})?;"));
+                    } else {
+                        let (size, _) = self
+                            .flat_size_align(&Type::Named(n.clone()))
+                            .expect("fixed-shape member");
+                        let end = off + size;
+                        let path = self.path_to(&abs, camel);
+                        self.out
+                            .line(format!("{path}::validate(&{b}[{off}..{end}])?;"));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Expression reading one member of a *validated* flat record in `b` as
+    /// an owned value. Infallible: validate already checked every tag.
+    fn flat_read_expr(&self, ty: &Type, b: &str, off: usize) -> String {
+        match self.underlying(ty) {
+            Type::Bool => format!("::spring_buf::flat::get_bool({b}, {off})"),
+            Type::Octet => format!("::spring_buf::flat::get_u8({b}, {off})"),
+            Type::Short => format!("::spring_buf::flat::get_i16({b}, {off})"),
+            Type::UShort => format!("::spring_buf::flat::get_u16({b}, {off})"),
+            Type::Long => format!("::spring_buf::flat::get_i32({b}, {off})"),
+            Type::ULong => format!("::spring_buf::flat::get_u32({b}, {off})"),
+            Type::LongLong => format!("::spring_buf::flat::get_i64({b}, {off})"),
+            Type::ULongLong => format!("::spring_buf::flat::get_u64({b}, {off})"),
+            Type::Float => format!("::spring_buf::flat::get_f32({b}, {off})"),
+            Type::Double => format!("::spring_buf::flat::get_f64({b}, {off})"),
+            Type::Named(n) => {
+                let abs = n.joined();
+                if self.checked.enums.contains_key(&abs) {
+                    format!(
+                        "{}::from_tag(::spring_buf::flat::get_u32({b}, {off}))",
+                        self.path_to(&abs, camel)
+                    )
+                } else {
+                    let (size, _) = self.flat_size_align(ty).expect("fixed-shape member");
+                    let end = off + size;
+                    format!(
+                        "{}::assume_valid(&{b}[{off}..{end}]).to_owned()",
+                        self.flat_view_path(&abs)
+                    )
+                }
+            }
+            _ => unreachable!("flat members are fixed-shape"),
+        }
+    }
+
+    /// In/inout parameters as `(footprint, [(offset, name, type)])` when the
+    /// whole argument record is fixed-shape (which also rules out `copy`-mode
+    /// object parameters); `None` sends the op down the copying path.
+    fn flat_args(&self, op: &Operation) -> Option<FlatArgs> {
+        if op.params.iter().any(|p| p.mode == ParamMode::Copy) {
+            return None;
+        }
+        let ins: Vec<&Param> = op
+            .params
+            .iter()
+            .filter(|p| matches!(p.mode, ParamMode::In | ParamMode::InOut))
+            .collect();
+        if ins.is_empty() {
+            return None;
+        }
+        let tys: Vec<Type> = ins.iter().map(|p| p.ty.clone()).collect();
+        let (footprint, offsets) = self.flat_layout(&tys)?;
+        Some((
+            footprint,
+            ins.iter()
+                .zip(offsets)
+                .map(|(p, off)| (off, sanitize(&p.name), p.ty.clone()))
+                .collect(),
+        ))
+    }
+
+    /// Reply values (return value, then out/inout parameters) as one flat
+    /// record; `None` when any is variable-shape or there are none.
+    fn flat_rets(&self, op: &Operation) -> Option<(usize, Vec<(usize, Type)>)> {
+        let rets = self.op_returns_owned(op);
+        if rets.is_empty() {
+            return None;
+        }
+        let tys: Vec<Type> = rets.iter().map(|(_, t)| t.clone()).collect();
+        let (footprint, offsets) = self.flat_layout(&tys)?;
+        Some((footprint, offsets.into_iter().zip(tys).collect()))
+    }
+
     fn is_copy_prim(&self, ty: &Type) -> bool {
         match self.underlying(ty) {
             Type::Bool
@@ -362,8 +518,18 @@ impl Gen<'_> {
         ));
     }
 
-    fn struct_def(&mut self, name: &str, fields: &[Field], _exception: Option<&str>) {
+    fn struct_def(&mut self, name: &str, fields: &[Field], exception: Option<&str>) {
         let rust_name = camel(name);
+        // Fixed-shape structs additionally get a flat layout: footprint,
+        // validate, and a zero-copy borrowing view. Exceptions never do —
+        // they travel after a variable-length exception name.
+        let tys: Vec<Type> = fields.iter().map(|f| f.ty.clone()).collect();
+        let flat = if exception.is_none() {
+            self.flat_layout(&tys)
+        } else {
+            None
+        };
+
         self.out.line("");
         self.out.line("#[derive(Clone, Debug, PartialEq)]");
         self.out.open(format!("pub struct {rust_name} {{"));
@@ -377,6 +543,9 @@ impl Gen<'_> {
         self.out.open(format!("impl {rust_name} {{"));
         self.out
             .open("pub fn idl_encode(&self, buf: &mut ::spring_buf::CommBuffer) {");
+        // Every struct frame starts 8-aligned so the flat offsets computed
+        // relative to the frame start equal the absolute buffer offsets.
+        self.out.line("buf.align8();");
         for f in fields {
             self.emit_encode(&f.ty.clone(), &format!("self.{}", sanitize(&f.name)), "buf");
         }
@@ -386,12 +555,148 @@ impl Gen<'_> {
             "pub fn idl_decode(buf: &mut ::spring_buf::CommBuffer) \
              -> ::std::result::Result<Self, ::subcontract::SpringError> {",
         );
+        self.out.line("buf.skip_align8()?;");
         self.out.open("Ok(Self {");
         for f in fields {
             let expr = self.decode_expr(&f.ty, "buf");
             self.out.line(format!("{}: {},", sanitize(&f.name), expr));
         }
         self.out.close("})");
+        self.out.close("}");
+        if let Some((footprint, offsets)) = &flat {
+            let members: Vec<(usize, Type)> = offsets.iter().copied().zip(tys.clone()).collect();
+            self.out.line("");
+            self.out
+                .line("/// Exact flat-frame size from an 8-aligned frame start.");
+            self.out.open("pub const fn footprint() -> usize {");
+            self.out.line(format!("{footprint}"));
+            self.out.close("}");
+            self.out.line("");
+            self.out
+                .line("/// Bounds-and-tags check over one flat frame; views and");
+            self.out
+                .line("/// accessors are infallible afterwards (validate-then-cast).");
+            self.out.open(
+                "pub fn validate(__b: &[u8]) -> \
+                 ::std::result::Result<(), ::spring_buf::WireError> {",
+            );
+            self.out
+                .line(format!("::spring_buf::flat::check_len(__b, {footprint})?;"));
+            self.emit_flat_checks("__b", &members);
+            self.out.line("Ok(())");
+            self.out.close("}");
+        }
+        self.out.close("}");
+
+        if let Some((footprint, offsets)) = flat {
+            self.struct_view(&rust_name, fields, footprint, &offsets);
+        }
+    }
+
+    /// Emits the zero-copy borrowing view for a fixed-shape struct.
+    fn struct_view(
+        &mut self,
+        rust_name: &str,
+        fields: &[Field],
+        footprint: usize,
+        offsets: &[usize],
+    ) {
+        self.out.line("");
+        self.out.line(format!(
+            "/// Zero-copy view over a validated `{rust_name}` flat frame."
+        ));
+        self.out.line("#[derive(Clone, Copy, Debug)]");
+        self.out.open(format!("pub struct {rust_name}View<'a> {{"));
+        self.out.line("bytes: &'a [u8],");
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!("impl<'a> {rust_name}View<'a> {{"));
+        self.out
+            .line("/// Validates `bytes` and wraps them without copying.");
+        self.out.open(
+            "pub fn new(bytes: &'a [u8]) -> \
+             ::std::result::Result<Self, ::spring_buf::WireError> {",
+        );
+        self.out.line(format!("{rust_name}::validate(bytes)?;"));
+        self.out.line(format!("Ok({rust_name}View {{ bytes }})"));
+        self.out.close("}");
+        self.out.line("");
+        self.out
+            .line("/// Wraps bytes already covered by an enclosing `validate`.");
+        self.out.line("#[doc(hidden)]");
+        self.out
+            .open("pub fn assume_valid(bytes: &'a [u8]) -> Self {");
+        self.out.line(format!("{rust_name}View {{ bytes }}"));
+        self.out.close("}");
+        self.out.line("");
+        self.out.line("/// The underlying frame bytes.");
+        self.out.open("pub fn as_bytes(&self) -> &'a [u8] {");
+        self.out.line("self.bytes");
+        self.out.close("}");
+        for (f, off) in fields.iter().zip(offsets) {
+            let fname = sanitize(&f.name);
+            self.out.line("");
+            self.out
+                .line(format!("/// Reads `{}` in place (offset {off}).", f.name));
+            match self.underlying(&f.ty).clone() {
+                Type::Named(n) if !self.checked.enums.contains_key(&n.joined()) => {
+                    let abs = n.joined();
+                    let (size, _) = self.flat_size_align(&f.ty).expect("fixed-shape field");
+                    let end = off + size;
+                    let view = self.flat_view_path(&abs);
+                    self.out
+                        .open(format!("pub fn {fname}(&self) -> {view}<'a> {{"));
+                    self.out
+                        .line(format!("{view}::assume_valid(&self.bytes[{off}..{end}])"));
+                    self.out.close("}");
+                }
+                _ => {
+                    let ret = self.rust_type(&f.ty);
+                    let expr = self.flat_read_expr(&f.ty, "self.bytes", *off);
+                    self.out.open(format!("pub fn {fname}(&self) -> {ret} {{"));
+                    self.out.line(expr);
+                    self.out.close("}");
+                }
+            }
+        }
+        self.out.line("");
+        self.out
+            .line("/// Copies the view into an owned value (scalar loads only).");
+        self.out
+            .open(format!("pub fn to_owned(self) -> {rust_name} {{"));
+        self.out.open(format!("{rust_name} {{"));
+        for f in fields {
+            let fname = sanitize(&f.name);
+            let expr = match self.underlying(&f.ty) {
+                Type::Named(n) if !self.checked.enums.contains_key(&n.joined()) => {
+                    format!("self.{fname}().to_owned()")
+                }
+                _ => format!("self.{fname}()"),
+            };
+            self.out.line(format!("{fname}: {expr},"));
+        }
+        self.out.close("}");
+        self.out.close("}");
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(format!(
+            "impl<'a> ::subcontract::FlatMessage<'a> for {rust_name}View<'a> {{"
+        ));
+        self.out
+            .line(format!("const FOOTPRINT: usize = {footprint};"));
+        self.out.line("");
+        self.out.open(
+            "fn validate(__b: &[u8]) -> \
+             ::std::result::Result<(), ::spring_buf::WireError> {",
+        );
+        self.out.line(format!("{rust_name}::validate(__b)"));
+        self.out.close("}");
+        self.out.line("");
+        self.out.open(
+            "fn view(__b: &'a [u8]) -> \
+             ::std::result::Result<Self, ::spring_buf::WireError> {",
+        );
+        self.out.line("Self::new(__b)");
         self.out.close("}");
         self.out.close("}");
     }
@@ -430,6 +735,33 @@ impl Gen<'_> {
              ::spring_buf::BufError::InvalidEnumTag(__tag))),",
         );
         self.out.close("})");
+        self.out.close("}");
+        self.out.line("");
+        self.out
+            .line("/// Flat-frame check: a single in-range `u32` tag.");
+        self.out.open(
+            "pub fn validate(__b: &[u8]) -> \
+             ::std::result::Result<(), ::spring_buf::WireError> {",
+        );
+        self.out.line("::spring_buf::flat::check_len(__b, 4)?;");
+        self.out.line(format!(
+            "::spring_buf::flat::check_tag(__b, 0, {})?;",
+            e.variants.len()
+        ));
+        self.out.line("Ok(())");
+        self.out.close("}");
+        self.out.line("");
+        self.out
+            .line("/// Decodes a tag already range-checked by `validate`.");
+        self.out.line("#[doc(hidden)]");
+        self.out.open("pub fn from_tag(__tag: u32) -> Self {");
+        self.out.open("match __tag {");
+        for (i, v) in e.variants.iter().enumerate() {
+            self.out.line(format!("{i} => {rust_name}::{},", camel(v)));
+        }
+        self.out
+            .line("__t => unreachable!(\"enum tag {} after validate\", __t),");
+        self.out.close("}");
         self.out.close("}");
         self.out.close("}");
     }
@@ -530,6 +862,16 @@ impl Gen<'_> {
             .open("fn from(e: ::spring_buf::BufError) -> Self {");
         self.out.line(format!(
             "{name}::System(::subcontract::SpringError::Buf(e))"
+        ));
+        self.out.close("}");
+        self.out.close("}");
+        self.out.line("");
+        self.out
+            .open(format!("impl From<::spring_buf::WireError> for {name} {{"));
+        self.out
+            .open("fn from(e: ::spring_buf::WireError) -> Self {");
+        self.out.line(format!(
+            "{name}::System(::subcontract::SpringError::Wire(e))"
         ));
         self.out.close("}");
         self.out.close("}");
@@ -669,6 +1011,12 @@ impl Gen<'_> {
             "let mut __call = self.obj.start_call({ops_mod}::{})?;",
             upper_snake(&op.name)
         ));
+        if self.flat_args(op).is_some() {
+            // Start the flat argument record at an 8-aligned buffer offset
+            // so its compile-time field offsets hold absolutely; the
+            // skeleton's `flat_remaining` skips the same padding.
+            self.out.line("__call.align8();");
+        }
         for p in &op.params {
             let pname = sanitize(&p.name);
             match p.mode {
@@ -707,6 +1055,29 @@ impl Gen<'_> {
         self.out.open("::subcontract::ReplyStatus::Ok => {");
         let rets = self.op_returns_owned(op);
         let mut ret_exprs = Vec::new();
+        if let Some((footprint, members)) = self.flat_rets(op) {
+            // Zero-copy reply unmarshal: one bounds check, tag checks, then
+            // in-place reads at compile-time constant offsets.
+            self.out.line("let __flat = __reply.flat_remaining()?;");
+            self.out.line(format!(
+                "::spring_buf::flat::check_len(__flat, {footprint})?;"
+            ));
+            self.emit_flat_checks("__flat", &members);
+            for (idx, (off, ty)) in members.iter().enumerate() {
+                let var = format!("__r{idx}");
+                let expr = self.flat_read_expr(ty, "__flat", *off);
+                self.out.line(format!("let {var} = {expr};"));
+                ret_exprs.push(var);
+            }
+            match ret_exprs.len() {
+                0 => unreachable!("flat_rets is None for void replies"),
+                1 => self.out.line(format!("Ok({})", ret_exprs[0])),
+                _ => self.out.line(format!("Ok(({}))", ret_exprs.join(", "))),
+            }
+            self.out.close("}");
+            self.client_method_exn_arms(op, &err_ty);
+            return;
+        }
         for (idx, (_, ty)) in rets.iter().enumerate() {
             let var = format!("__r{idx}");
             if self.is_object(ty) {
@@ -735,6 +1106,12 @@ impl Gen<'_> {
             _ => self.out.line(format!("Ok(({}))", ret_exprs.join(", "))),
         }
         self.out.close("}");
+        self.client_method_exn_arms(op, &err_ty);
+    }
+
+    /// Emits the `UserException` arm of a client method's reply match and
+    /// closes the match and the method.
+    fn client_method_exn_arms(&mut self, op: &Operation, err_ty: &str) {
         self.out
             .open("::subcontract::ReplyStatus::UserException(__name) => match __name.as_str() {");
         for r in &op.raises {
@@ -863,14 +1240,33 @@ impl Gen<'_> {
 
     fn skeleton_arm(&mut self, info: &InterfaceInfo, owner: &str, op: &Operation) {
         let ops_mod = self.ops_mod_path(&info.abs);
-        let err_ty = self.error_path(owner);
         self.out.open(format!(
             "__x if __x == {ops_mod}::{} => {{",
             upper_snake(&op.name)
         ));
 
-        // Unmarshal in/inout/copy arguments in declaration order.
+        // Unmarshal in/inout/copy arguments in declaration order. When the
+        // whole argument record is fixed-shape, unmarshal collapses to one
+        // bounds check plus in-place reads borrowed straight from the
+        // translated (or shared-memory) frame — no payload copies.
         let mut call_args = Vec::new();
+        if let Some((footprint, members)) = self.flat_args(op) {
+            self.out.line("let __flat = __args.flat_remaining()?;");
+            self.out.line(format!(
+                "::spring_buf::flat::check_len(__flat, {footprint})?;"
+            ));
+            let checks: Vec<(usize, Type)> =
+                members.iter().map(|(o, _, t)| (*o, t.clone())).collect();
+            self.emit_flat_checks("__flat", &checks);
+            for (off, pname, ty) in &members {
+                let var = format!("__a_{pname}");
+                let expr = self.flat_read_expr(ty, "__flat", *off);
+                self.out.line(format!("let {var} = {expr};"));
+                call_args.push(var);
+            }
+            self.skeleton_arm_tail(owner, op, &call_args);
+            return;
+        }
         for p in &op.params {
             let pname = format!("__a_{}", sanitize(&p.name));
             match p.mode {
@@ -898,7 +1294,13 @@ impl Gen<'_> {
                 }
             }
         }
+        self.skeleton_arm_tail(owner, op, &call_args);
+    }
 
+    /// Emits the servant call and reply marshalling of one skeleton arm,
+    /// closing the arm.
+    fn skeleton_arm_tail(&mut self, owner: &str, op: &Operation, call_args: &[String]) {
+        let err_ty = self.error_path(owner);
         let rets = self.op_returns_owned(op);
         let ok_pattern = match rets.len() {
             0 => "Ok(())".to_owned(),
@@ -916,6 +1318,11 @@ impl Gen<'_> {
         ));
         self.out.open(format!("{ok_pattern} => {{"));
         self.out.line("::subcontract::encode_ok(__reply);");
+        if self.flat_rets(op).is_some() {
+            // Start the flat reply record 8-aligned, mirroring the client's
+            // `flat_remaining` on decode.
+            self.out.line("__reply.align8();");
+        }
         for (idx, (_, ty)) in rets.iter().enumerate() {
             let var = format!("__r{idx}");
             if self.is_object(ty) {

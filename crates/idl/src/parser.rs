@@ -134,7 +134,7 @@ impl<'a> Parser<'a> {
             self.expect(&TokenKind::RBracket, "`]`")?;
         }
 
-        let line = self.peek().line;
+        let (line, col) = (self.peek().line, self.peek().col);
         self.keyword("interface")?;
         let name = self.ident("interface name")?;
 
@@ -167,6 +167,7 @@ impl<'a> Parser<'a> {
             ops,
             subcontract,
             line,
+            col,
         })
     }
 
@@ -176,7 +177,7 @@ impl<'a> Parser<'a> {
     /// with explicit operations are caught by the checker like any other
     /// duplicate.
     fn attribute(&mut self, ops: &mut Vec<Operation>) -> Result<(), IdlError> {
-        let line = self.peek().line;
+        let (line, col) = (self.peek().line, self.peek().col);
         let readonly = self.at_keyword("readonly");
         if readonly {
             self.bump();
@@ -191,6 +192,7 @@ impl<'a> Parser<'a> {
                 params: Vec::new(),
                 raises: Vec::new(),
                 line,
+                col,
             });
             if !readonly {
                 ops.push(Operation {
@@ -203,6 +205,7 @@ impl<'a> Parser<'a> {
                     }],
                     raises: Vec::new(),
                     line,
+                    col,
                 });
             }
             if !self.eat(&TokenKind::Comma) {
@@ -214,7 +217,7 @@ impl<'a> Parser<'a> {
     }
 
     fn operation(&mut self) -> Result<Operation, IdlError> {
-        let line = self.peek().line;
+        let (line, col) = (self.peek().line, self.peek().col);
         let ret = self.type_spec(true)?;
         let name = self.ident("operation name")?;
         self.expect(&TokenKind::LParen, "`(`")?;
@@ -247,6 +250,7 @@ impl<'a> Parser<'a> {
             params,
             raises,
             line,
+            col,
         })
     }
 
@@ -348,26 +352,42 @@ impl<'a> Parser<'a> {
     }
 
     fn scoped_name(&mut self) -> Result<ScopedName, IdlError> {
-        let line = self.peek().line;
+        let (line, col) = (self.peek().line, self.peek().col);
         let mut segments = vec![self.ident("name")?];
         while self.eat(&TokenKind::ColonColon) {
             segments.push(self.ident("name segment")?);
         }
-        Ok(ScopedName { segments, line })
+        Ok(ScopedName {
+            segments,
+            line,
+            col,
+        })
     }
 
     fn struct_def(&mut self) -> Result<StructDef, IdlError> {
+        let (line, col) = (self.peek().line, self.peek().col);
         self.keyword("struct")?;
         let name = self.ident("struct name")?;
         let fields = self.field_block()?;
-        Ok(StructDef { name, fields })
+        Ok(StructDef {
+            name,
+            fields,
+            line,
+            col,
+        })
     }
 
     fn exception(&mut self) -> Result<ExceptionDef, IdlError> {
+        let (line, col) = (self.peek().line, self.peek().col);
         self.keyword("exception")?;
         let name = self.ident("exception name")?;
         let fields = self.field_block()?;
-        Ok(ExceptionDef { name, fields })
+        Ok(ExceptionDef {
+            name,
+            fields,
+            line,
+            col,
+        })
     }
 
     fn field_block(&mut self) -> Result<Vec<Field>, IdlError> {
@@ -377,16 +397,23 @@ impl<'a> Parser<'a> {
             if self.peek().kind == TokenKind::Eof {
                 return Err(self.err("unterminated block"));
             }
+            let (line, col) = (self.peek().line, self.peek().col);
             let ty = self.type_spec(false)?;
             let name = self.ident("field name")?;
             self.expect(&TokenKind::Semi, "`;`")?;
-            fields.push(Field { ty, name });
+            fields.push(Field {
+                ty,
+                name,
+                line,
+                col,
+            });
         }
         self.eat(&TokenKind::Semi);
         Ok(fields)
     }
 
     fn enum_def(&mut self) -> Result<EnumDef, IdlError> {
+        let (line, col) = (self.peek().line, self.peek().col);
         self.keyword("enum")?;
         let name = self.ident("enum name")?;
         self.expect(&TokenKind::LBrace, "`{`")?;
@@ -403,18 +430,30 @@ impl<'a> Parser<'a> {
             }
         }
         self.eat(&TokenKind::Semi);
-        Ok(EnumDef { name, variants })
+        Ok(EnumDef {
+            name,
+            variants,
+            line,
+            col,
+        })
     }
 
     fn typedef(&mut self) -> Result<Typedef, IdlError> {
+        let (line, col) = (self.peek().line, self.peek().col);
         self.keyword("typedef")?;
         let ty = self.type_spec(false)?;
         let name = self.ident("typedef name")?;
         self.expect(&TokenKind::Semi, "`;`")?;
-        Ok(Typedef { name, ty })
+        Ok(Typedef {
+            name,
+            ty,
+            line,
+            col,
+        })
     }
 
     fn const_def(&mut self) -> Result<ConstDef, IdlError> {
+        let (line, col) = (self.peek().line, self.peek().col);
         self.keyword("const")?;
         let ty = self.type_spec(false)?;
         let name = self.ident("constant name")?;
@@ -441,7 +480,13 @@ impl<'a> Parser<'a> {
             other => return Err(self.err(format!("expected a literal, found {other:?}"))),
         };
         self.expect(&TokenKind::Semi, "`;`")?;
-        Ok(ConstDef { name, ty, value })
+        Ok(ConstDef {
+            name,
+            ty,
+            value,
+            line,
+            col,
+        })
     }
 }
 

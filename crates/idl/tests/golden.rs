@@ -1,0 +1,29 @@
+//! Golden-file test: the Rust generated for `golden/fixture.idl` must match
+//! the committed snapshot byte-for-byte, pinning the full shape of the
+//! emitted code — flat layout offsets, validate bodies, views, and the
+//! copying fallback. Bless intentional changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p spring-idl --test golden
+//! ```
+
+use spring_idl::compile;
+
+#[test]
+fn generated_code_matches_golden() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let src = std::fs::read_to_string(dir.join("fixture.idl")).unwrap();
+    let generated = compile(&src).unwrap();
+    let golden_path = dir.join("fixture.rs");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &generated).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_default();
+    assert_eq!(
+        generated,
+        golden,
+        "generated code drifted from {}; rerun with UPDATE_GOLDEN=1 to bless",
+        golden_path.display()
+    );
+}

@@ -604,7 +604,9 @@ impl Kernel {
     }
 
     /// Copies a message's payload (the simulated cross-address-space copy)
-    /// and transfers its door identifiers from `from` to `to`.
+    /// and transfers its door identifiers from `from` to `to`. Same-domain
+    /// (D2) deliveries skip the copy: both sides share one address space, so
+    /// the payload moves by reference.
     fn translate(
         &self,
         from_ds: &Arc<DomainState>,
@@ -613,25 +615,36 @@ impl Kernel {
         to: DomainId,
         msg: Message,
     ) -> Result<Message, DoorError> {
-        self.inner
-            .stats
-            .bytes_copied
-            .fetch_add(msg.bytes.len() as u64, Ordering::Relaxed);
-        // Physical copy: a real kernel copies payload bytes between address
-        // spaces; this is the cost shared-memory subcontracts avoid. The
-        // copy target comes from the buffer pool and the consumed source
-        // backing goes back to it, so steady-state calls do not allocate.
         let Message {
             bytes: src,
             doors: sent,
             trace,
             call,
         } = msg;
-        let bytes = if src.is_empty() {
+        let bytes = if from == to {
+            // D2: caller and server live in the same domain, so "crossing"
+            // the boundary moves no bytes — the ownership transfer of the
+            // backing is the delivery. Door identifiers still go through
+            // slot translation below so capability accounting stays exact.
+            self.inner
+                .stats
+                .local_deliveries
+                .fetch_add(1, Ordering::Relaxed);
+            src
+        } else if src.is_empty() {
             // Copying nothing: an empty Vec never allocates, so the pool
             // would only add counter noise here.
             Vec::new()
         } else {
+            // Physical copy: a real kernel copies payload bytes between
+            // address spaces; this is the cost shared-memory subcontracts
+            // avoid. The copy target comes from the buffer pool and the
+            // consumed source backing goes back to it, so steady-state calls
+            // do not allocate.
+            self.inner
+                .stats
+                .bytes_copied
+                .fetch_add(src.len() as u64, Ordering::Relaxed);
             let mut bytes = pool::take(src.len());
             bytes.extend_from_slice(&src);
             pool::give(src);

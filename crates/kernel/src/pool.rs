@@ -25,6 +25,16 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Minimum address alignment of every pooled backing's payload region.
+///
+/// Flat wire frames (`spring_buf::flat`) start at 8-byte-aligned offsets
+/// within a buffer; keeping the backing itself 8-byte aligned means the
+/// frame start is 8-byte aligned in memory too, so whole-frame casts are
+/// sound by construction. Rust's global allocator returns ≥ 8-byte-aligned
+/// blocks for all practical sizes on 64-bit targets; [`take`] verifies the
+/// invariant and [`give`] refuses to retain a backing that violates it.
+pub const PAYLOAD_ALIGN: usize = 8;
+
 /// Maximum number of backings retained per thread.
 const MAX_POOLED: usize = 32;
 
@@ -39,8 +49,35 @@ thread_local! {
     static FREE: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
 }
 
+/// True when a backing satisfies [`PAYLOAD_ALIGN`]. Capacity-0 vectors hold
+/// no storage (their pointer is a dangling sentinel), so they are vacuously
+/// aligned.
+fn is_aligned(v: &Vec<u8>) -> bool {
+    v.capacity() == 0 || (v.as_ptr() as usize).is_multiple_of(PAYLOAD_ALIGN)
+}
+
+/// Allocates a fresh backing with [`PAYLOAD_ALIGN`]ed storage. The global
+/// allocator already aligns to at least 8 on every supported target; the
+/// retry loop turns that practical fact into a checked guarantee without
+/// resorting to a custom allocator.
+fn alloc_aligned(min_capacity: usize) -> Vec<u8> {
+    let mut parked = Vec::new();
+    for _ in 0..8 {
+        let v = Vec::with_capacity(min_capacity);
+        if is_aligned(&v) {
+            return v;
+        }
+        // Keep the misaligned block alive so the next attempt gets a
+        // different address.
+        parked.push(v);
+    }
+    debug_assert!(false, "allocator never produced an 8-byte-aligned block");
+    parked.pop().unwrap()
+}
+
 /// Takes an empty byte vector with at least `min_capacity` spare capacity,
-/// reusing a pooled backing when one is large enough.
+/// reusing a pooled backing when one is large enough. The result's storage
+/// (when it has any) is [`PAYLOAD_ALIGN`]-byte aligned.
 pub fn take(min_capacity: usize) -> Vec<u8> {
     let reused = FREE.with(|free| {
         let mut free = free.borrow_mut();
@@ -58,20 +95,22 @@ pub fn take(min_capacity: usize) -> Vec<u8> {
         Some(v) => {
             HITS.fetch_add(1, Ordering::Relaxed);
             debug_assert!(v.is_empty());
+            debug_assert!(is_aligned(&v), "pool retained a misaligned backing");
             v
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
-            Vec::with_capacity(min_capacity)
+            alloc_aligned(min_capacity)
         }
     }
 }
 
 /// Returns a no-longer-needed byte vector to the current thread's pool.
 ///
-/// Zero-capacity vectors (nothing to reuse) and oversized ones are dropped.
+/// Zero-capacity vectors (nothing to reuse), oversized ones, and any that
+/// lost the [`PAYLOAD_ALIGN`] guarantee are dropped.
 pub fn give(mut v: Vec<u8>) {
-    if v.capacity() == 0 || v.capacity() > MAX_RETAINED_CAPACITY {
+    if v.capacity() == 0 || v.capacity() > MAX_RETAINED_CAPACITY || !is_aligned(&v) {
         return;
     }
     v.clear();
@@ -136,5 +175,27 @@ mod tests {
         give(vec![1, 2, 3]);
         let v = take(1);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn payload_regions_are_eight_byte_aligned() {
+        // Fresh allocations across a spread of sizes, including ones small
+        // enough that a naive allocator might under-align them.
+        for size in [1usize, 2, 3, 7, 8, 9, 64, 1000, 4096] {
+            let v = take(size);
+            assert!(v.capacity() >= size);
+            assert_eq!(
+                v.as_ptr() as usize % PAYLOAD_ALIGN,
+                0,
+                "take({size}) returned a misaligned backing"
+            );
+            give(v);
+        }
+        // Reused backings keep the guarantee.
+        for _ in 0..16 {
+            let v = take(32);
+            assert!(is_aligned(&v));
+            give(v);
+        }
     }
 }

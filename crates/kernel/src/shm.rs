@@ -42,10 +42,30 @@ pub struct ShmRegion {
 
 impl ShmRegion {
     pub(crate) fn new(id: ShmId, size: usize) -> Self {
+        // Regions back flat-frame decoding (`CommBuffer::flat_remaining`),
+        // which relies on the same 8-byte base alignment the buffer pool
+        // guarantees (`crate::pool::PAYLOAD_ALIGN`); allocate with the same
+        // retry discipline as the pool rather than assuming the allocator
+        // over-aligns byte vectors.
+        let mut parked = Vec::new();
+        let data = loop {
+            let v = vec![0u8; size];
+            if v.capacity() == 0 || (v.as_ptr() as usize).is_multiple_of(crate::pool::PAYLOAD_ALIGN)
+            {
+                break v;
+            }
+            // Keep the misaligned block alive so the next attempt gets a
+            // different address.
+            parked.push(v);
+            if parked.len() > 8 {
+                debug_assert!(false, "allocator never produced an 8-byte-aligned region");
+                break parked.pop().expect("just pushed");
+            }
+        };
         ShmRegion {
             id,
             size,
-            data: Arc::new(Mutex::new(Some(vec![0; size]))),
+            data: Arc::new(Mutex::new(Some(data))),
         }
     }
 
@@ -126,6 +146,24 @@ impl Drop for MappedShm {
 mod tests {
     use super::*;
     use crate::id::ShmId;
+
+    #[test]
+    fn regions_are_eight_byte_aligned() {
+        // Flat frames are decoded in place out of regions; the base address
+        // must satisfy the same alignment as pooled payload backings.
+        for (i, size) in [1usize, 7, 60, 257, 4096].into_iter().enumerate() {
+            let region = ShmRegion::new(ShmId(100 + i as u64), size);
+            region
+                .with(|d| {
+                    assert_eq!(
+                        d.as_ptr() as usize % crate::pool::PAYLOAD_ALIGN,
+                        0,
+                        "region of {size} bytes is misaligned"
+                    )
+                })
+                .unwrap();
+        }
+    }
 
     #[test]
     fn map_write_read_back() {

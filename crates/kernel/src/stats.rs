@@ -71,6 +71,9 @@ kernel_counters! {
     door_calls,
     /// Payload bytes physically copied across domain boundaries.
     bytes_copied,
+    /// Door calls delivered within one domain (D2) with the payload passed
+    /// through uncopied.
+    local_deliveries,
     /// Door identifiers issued (creation, copy, and transfer each issue one).
     ids_issued,
     /// Door identifiers deleted.
