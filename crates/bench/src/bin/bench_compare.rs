@@ -24,11 +24,18 @@
 //!   most reads) — the caching win (higher is better).
 //! * `e14`: pipelined speedup at 1 ms latency (higher is better). Guards
 //!   per-link batching.
+//! * `e15 knee`: shed-arm knee ÷ no-shed knee, both in multiples of the
+//!   same measured capacity (higher is better). Guards the admission
+//!   controller's headline effect: shedding moves the saturation knee
+//!   right.
+//! * `e15 overload p99`: served p99 at the top of the sweep, shed ÷
+//!   no-shed (lower is better). Guards the tail-latency win itself.
 //!
 //! A metric regresses when it moves past `tolerance` (default 20%) in the
-//! bad direction; improvements never fail. Missing files are an error on
-//! the current side and an error on the baseline side too — silently
-//! skipping a comparison is how regressions sneak in.
+//! bad direction; improvements never fail. Missing files and missing
+//! fields are errors that name the side (baseline/current), the file, and
+//! the JSON path that came up short — silently skipping a comparison is
+//! how regressions sneak in.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -41,7 +48,9 @@ struct Metric {
     file: &'static str,
     /// True when larger values are better (throughput scaling, speedups).
     higher_is_better: bool,
-    extract: fn(&Json) -> Option<f64>,
+    /// Extracts the metric, or says exactly which JSON path was missing or
+    /// malformed so a renamed field fails loudly instead of skipping.
+    extract: fn(&Json) -> Result<f64, String>,
 }
 
 const METRICS: &[Metric] = &[
@@ -81,54 +90,120 @@ const METRICS: &[Metric] = &[
         higher_is_better: true,
         extract: e14_speedup,
     },
+    Metric {
+        name: "e15 shed/no-shed knee ratio",
+        file: "BENCH_e15.json",
+        higher_is_better: true,
+        extract: e15_knee_ratio,
+    },
+    Metric {
+        name: "e15 overload p99 shed/no-shed",
+        file: "BENCH_e15.json",
+        higher_is_better: false,
+        extract: e15_overload_p99_ratio,
+    },
 ];
 
-fn arm_ns(doc: &Json, arm: &str) -> Option<f64> {
-    doc.get("arms")?
-        .as_arr()?
-        .iter()
-        .find(|a| a.get("name").and_then(Json::as_str) == Some(arm))?
-        .get("ns_per_call")?
+/// Walks a dotted path of object keys; the error names the full path and
+/// the first segment that was absent.
+fn field<'a>(doc: &'a Json, path: &'static str) -> Result<&'a Json, String> {
+    let mut cur = doc;
+    for seg in path.split('.') {
+        cur = cur.get(seg).ok_or_else(|| {
+            if path == seg {
+                format!("missing field `{path}`")
+            } else {
+                format!("missing field `{path}` (no `{seg}`)")
+            }
+        })?;
+    }
+    Ok(cur)
+}
+
+/// A number at a dotted path, or an error naming the path.
+fn num(doc: &Json, path: &'static str) -> Result<f64, String> {
+    field(doc, path)?
         .as_f64()
+        .ok_or_else(|| format!("field `{path}` is not a number"))
 }
 
-fn e1_overhead_ratio(doc: &Json) -> Option<f64> {
-    let raw = arm_ns(doc, "raw_door")?;
-    let simplex = arm_ns(doc, "simplex")?;
-    (raw > 0.0).then(|| simplex / raw)
+fn arm_ns(doc: &Json, arm: &str) -> Result<f64, String> {
+    field(doc, "arms")?
+        .as_arr()
+        .ok_or("field `arms` is not an array".to_string())?
+        .iter()
+        .find(|a| a.get("name").and_then(Json::as_str) == Some(arm))
+        .ok_or_else(|| format!("no arm named `{arm}` in `arms`"))?
+        .get("ns_per_call")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("arm `{arm}` lacks numeric `ns_per_call`"))
 }
 
-fn e1_flat_ratio(doc: &Json) -> Option<f64> {
-    let fused = arm_ns(doc, "fused_stubs")?;
-    let flat = arm_ns(doc, "idl_flat")?;
-    (fused > 0.0).then(|| flat / fused)
+fn ratio(num_v: f64, den_v: f64, what: &str) -> Result<f64, String> {
+    if den_v > 0.0 {
+        Ok(num_v / den_v)
+    } else {
+        Err(format!("non-positive denominator for {what}"))
+    }
 }
 
-fn e1_echo_ratio(doc: &Json) -> Option<f64> {
-    let copy = arm_ns(doc, "idl_copy_echo")?;
-    let flat = arm_ns(doc, "idl_flat_echo")?;
-    (copy > 0.0).then(|| flat / copy)
+fn e1_overhead_ratio(doc: &Json) -> Result<f64, String> {
+    ratio(
+        arm_ns(doc, "simplex")?,
+        arm_ns(doc, "raw_door")?,
+        "simplex/raw_door",
+    )
 }
 
-fn e1t_scaling(doc: &Json) -> Option<f64> {
-    let scaling = doc.get("scaling_16_vs_1")?.as_f64()?;
+fn e1_flat_ratio(doc: &Json) -> Result<f64, String> {
+    ratio(
+        arm_ns(doc, "idl_flat")?,
+        arm_ns(doc, "fused_stubs")?,
+        "idl_flat/fused_stubs",
+    )
+}
+
+fn e1_echo_ratio(doc: &Json) -> Result<f64, String> {
+    ratio(
+        arm_ns(doc, "idl_flat_echo")?,
+        arm_ns(doc, "idl_copy_echo")?,
+        "idl_flat_echo/idl_copy_echo",
+    )
+}
+
+fn e1t_scaling(doc: &Json) -> Result<f64, String> {
+    let scaling = num(doc, "scaling_16_vs_1")?;
     // Measured "scaling" above the hardware parallelism is scheduler noise
     // (a single-core host can report anywhere from 2x to 6x depending on
     // how the 1-thread warmup landed), so clamp to what the host can
     // actually deliver before comparing.
-    let hw = doc.get("hardware_threads")?.as_f64()?;
-    Some(scaling.min(hw))
+    let hw = num(doc, "hardware_threads")?;
+    Ok(scaling.min(hw))
 }
 
-fn e4_caching_speedup(doc: &Json) -> Option<f64> {
-    let row = doc.get("sweep")?.as_arr()?.last()?;
-    let simplex = row.get("simplex_ns")?.as_f64()?;
-    let caching = row.get("caching_ns")?.as_f64()?;
-    (caching > 0.0).then(|| simplex / caching)
+fn e4_caching_speedup(doc: &Json) -> Result<f64, String> {
+    let row = field(doc, "sweep")?
+        .as_arr()
+        .ok_or("field `sweep` is not an array".to_string())?
+        .last()
+        .ok_or("field `sweep` is empty".to_string())?;
+    ratio(
+        num(row, "simplex_ns")?,
+        num(row, "caching_ns")?,
+        "simplex_ns/caching_ns",
+    )
 }
 
-fn e14_speedup(doc: &Json) -> Option<f64> {
-    doc.get("latency_1ms")?.get("speedup")?.as_f64()
+fn e14_speedup(doc: &Json) -> Result<f64, String> {
+    num(doc, "latency_1ms.speedup")
+}
+
+fn e15_knee_ratio(doc: &Json) -> Result<f64, String> {
+    num(doc, "knee_ratio_shed_over_noshed")
+}
+
+fn e15_overload_p99_ratio(doc: &Json) -> Result<f64, String> {
+    num(doc, "overload_p99_ratio_shed_over_noshed")
 }
 
 fn load(dir: &Path, file: &str) -> Result<Json, String> {
@@ -176,12 +251,12 @@ fn main() -> ExitCode {
     );
     for metric in METRICS {
         let pair = (|| -> Result<(f64, f64), String> {
-            let base_doc = load(baseline_dir, metric.file)?;
-            let cur_doc = load(current_dir, metric.file)?;
+            let base_doc = load(baseline_dir, metric.file).map_err(|e| format!("baseline: {e}"))?;
+            let cur_doc = load(current_dir, metric.file).map_err(|e| format!("current: {e}"))?;
             let base = (metric.extract)(&base_doc)
-                .ok_or_else(|| format!("baseline {} lacks the metric", metric.file))?;
-            let cur = (metric.extract)(&cur_doc)
-                .ok_or_else(|| format!("current {} lacks the metric", metric.file))?;
+                .map_err(|e| format!("baseline {}: {e}", metric.file))?;
+            let cur =
+                (metric.extract)(&cur_doc).map_err(|e| format!("current {}: {e}", metric.file))?;
             Ok((base, cur))
         })();
         let (base, cur) = match pair {

@@ -18,5 +18,6 @@ pub mod idl {
 pub use idl::flatbench;
 
 pub mod fixtures;
+pub mod openloop;
 pub mod report;
 pub mod timing;

@@ -25,8 +25,10 @@ use spring_subcontracts::stream::{FrameOutcome, Stream};
 use spring_trace::json::Json;
 
 use crate::fixtures::{
-    ctx_on, echo, ping, ping_async, ping_collect, FusedPing, PingServant, RawDoor, PINGER_TYPE,
+    ctx_on, echo, ping, ping_async, ping_collect, work, FusedPing, PingServant, RawDoor,
+    SpinServant, PINGER_TYPE,
 };
+use crate::openloop::{self, OpenLoopConfig};
 use crate::timing::{fmt_ns, ns_per_iter, ns_per_iter_min, time_once};
 
 /// Timed batches per E1 arm; the reported figure is the fastest batch.
@@ -1329,6 +1331,282 @@ pub fn e14_pipeline(smoke: bool) -> Json {
                 ("sequential_ns", Json::from(seq_0)),
                 ("pipelined_ns", Json::from(pipe_0)),
                 ("ratio", Json::from(ratio_0)),
+            ]),
+        ),
+        ("tracing", tracing_json()),
+    ])
+}
+
+/// One rate point of the E15 sweep, aggregated over its rounds.
+struct E15Point {
+    offered_x: f64,
+    offered_per_sec: f64,
+    served: u64,
+    shed: u64,
+    errors: u64,
+    /// Representative percentiles: the round with the lowest served p99
+    /// (the min-over-batches discipline — a host-load spike must hit every
+    /// round of a point to skew it).
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+    goodput_per_sec: f64,
+}
+
+/// Highest sweep multiple whose prefix all held the p99 bound — the knee.
+/// A point past the first violation does not count even if it squeaks
+/// under the bound: the knee is where bounded service *stops*, not the
+/// last lucky sample.
+fn e15_knee(points: &[E15Point], p99_bound_ns: u64) -> f64 {
+    let mut knee = 0.0;
+    for p in points {
+        if p.p99_ns > p99_bound_ns {
+            break;
+        }
+        knee = p.offered_x;
+    }
+    knee
+}
+
+/// E15 — open-loop tail latency and overload shedding (§8.4 priority).
+///
+/// Measures the server's closed-loop capacity, then offers open-loop
+/// (coordinated-omission-safe) load at multiples of it, with and without
+/// the priority subcontract's admission controller. The *knee* is the
+/// highest offered rate at which the served-calls p99 (measured from each
+/// call's intended start) stays under a bound. Without shedding, any rate
+/// past capacity grows the backlog linearly and the p99 explodes; with
+/// shedding, low-priority calls past the queue bound are rejected in
+/// microseconds, the backlog stays near the bound, and served calls keep a
+/// bounded tail well past capacity — the knee moves right.
+pub fn e15_open_loop(smoke: bool) -> Json {
+    header("E15: open-loop tail latency + overload shedding (paper §8.4)");
+    // Service time is *timed occupancy* (the servant sleeps, not spins):
+    // the queueing behaviour is what the experiment is about, and sleeping
+    // keeps a 1-2 core CI host from turning worker preemption into
+    // multi-millisecond measurement noise. The p99 bound is set well above
+    // residual scheduler jitter (~1-2 ms here) and well below the backlog
+    // blow-up an overloaded open-loop arm produces (tens of ms per 0.1 s of
+    // overload), so the knee detects saturation, not host hiccups.
+    const SERVICE_NS: u64 = 200_000;
+    const WORKERS: usize = 2;
+    const QUEUE_BOUND: Duration = Duration::from_millis(1);
+    const SHED_BELOW: u32 = 5;
+    const HIGH_PRI: u32 = 10;
+    const P99_BOUND_NS: u64 = 10_000_000;
+    let sweep_x: &[f64] = &[0.5, 0.8, 1.2, 1.6, 2.0];
+    let rounds: usize = if smoke { 2 } else { 3 };
+    let point_secs: f64 = if smoke { 0.25 } else { 0.5 };
+
+    use spring_subcontracts::priority::{self, AdmissionConfig};
+    use spring_subcontracts::Priority;
+
+    let kernel = Kernel::new("e15");
+    let server = ctx_on(&kernel, "server");
+    let client = ctx_on(&kernel, "client");
+    server.register_subcontract(Priority::new());
+    client.register_subcontract(Priority::new());
+
+    // Capacity: the same worker pool driving the same servant closed-loop,
+    // flat out. All offered rates below are multiples of this, so the sweep
+    // is machine-independent by construction.
+    let cap_obj = Priority
+        .export(&server, SpinServant::sleeping(SERVICE_NS))
+        .unwrap();
+    let cap_obj = ship_object(&KernelTransport, cap_obj, &client, &PINGER_TYPE).unwrap();
+    for _ in 0..50 {
+        work(&cap_obj).unwrap();
+    }
+    let per_thread = ((point_secs * 1e9) / SERVICE_NS as f64 / WORKERS as f64) as u64;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..WORKERS {
+            s.spawn(|| {
+                for _ in 0..per_thread {
+                    work(&cap_obj).unwrap();
+                }
+            });
+        }
+    });
+    let capacity = (per_thread * WORKERS as u64) as f64 / t0.elapsed().as_secs_f64();
+    println!(
+        "capacity: {capacity:.0} calls/s ({WORKERS} workers, {} service time)",
+        fmt_ns(SERVICE_NS as f64)
+    );
+
+    // One arm: sweep offered rates against a (low-pri, high-pri) object
+    // pair; ~25% of arrivals are high priority.
+    let run_arm = |obj_low: &SpringObj, obj_high: &SpringObj, hist_key: u64| -> Vec<E15Point> {
+        sweep_x
+            .iter()
+            .map(|&x| {
+                let rate = capacity * x;
+                let total = (rate * point_secs) as u64;
+                let mut point = E15Point {
+                    offered_x: x,
+                    offered_per_sec: rate,
+                    served: 0,
+                    shed: 0,
+                    errors: 0,
+                    p50_ns: 0,
+                    p99_ns: u64::MAX,
+                    p999_ns: 0,
+                    max_ns: 0,
+                    goodput_per_sec: 0.0,
+                };
+                for _ in 0..rounds {
+                    let report = openloop::run(
+                        &OpenLoopConfig {
+                            rate_per_sec: rate,
+                            total_calls: total,
+                            workers: WORKERS,
+                            registry_hist: Some((hist_key, "e15.open_loop")),
+                        },
+                        |i, intended| {
+                            let obj = if i % 4 == 0 { obj_high } else { obj_low };
+                            // Server-side queue delay is measured from the
+                            // *intended* start, same as the client latency.
+                            priority::stamp_enqueue_ns(intended);
+                            work(obj)
+                        },
+                    );
+                    point.served += report.served;
+                    point.shed += report.shed;
+                    point.errors += report.errors;
+                    let p99 = report.served_hist.p99_ns();
+                    if p99 < point.p99_ns {
+                        point.p99_ns = p99;
+                        point.p50_ns = report.served_hist.p50_ns();
+                        point.p999_ns = report.served_hist.p999_ns();
+                        point.max_ns = report.served_hist.max_ns;
+                        point.goodput_per_sec = report.goodput_per_sec();
+                    }
+                }
+                point
+            })
+            .collect()
+    };
+
+    // No-shedding arm: plain priority export, queue grows without limit.
+    let plain = Priority
+        .export(&server, SpinServant::sleeping(SERVICE_NS))
+        .unwrap();
+    let plain_low = ship_object(&KernelTransport, plain, &client, &PINGER_TYPE).unwrap();
+    let plain_high = plain_low.copy().unwrap();
+    Priority::set_priority(&plain_high, HIGH_PRI).unwrap();
+    let noshed = run_arm(&plain_low, &plain_high, 0xE150);
+
+    // Shedding arm: the admission controller rejects low-priority calls
+    // once the measured queue delay passes the bound.
+    let (guarded, admission) = Priority::export_with_admission(
+        &server,
+        SpinServant::sleeping(SERVICE_NS),
+        AdmissionConfig {
+            queue_bound: QUEUE_BOUND,
+            shed_below: SHED_BELOW,
+        },
+    )
+    .unwrap();
+    let shed_low = ship_object(&KernelTransport, guarded, &client, &PINGER_TYPE).unwrap();
+    let shed_high = shed_low.copy().unwrap();
+    Priority::set_priority(&shed_high, HIGH_PRI).unwrap();
+    let shed = run_arm(&shed_low, &shed_high, 0xE151);
+
+    println!(
+        "{:<8} {:>9} {:>9} {:>8} {:>11} {:>11} {:>11} {:>11}",
+        "arm", "offered×", "served", "shed", "p50", "p99", "p999", "max"
+    );
+    for (name, points) in [("no_shed", &noshed), ("shed", &shed)] {
+        for p in points.iter() {
+            println!(
+                "{:<8} {:>9.1} {:>9} {:>8} {:>11} {:>11} {:>11} {:>11}",
+                name,
+                p.offered_x,
+                p.served,
+                p.shed,
+                fmt_ns(p.p50_ns as f64),
+                fmt_ns(p.p99_ns as f64),
+                fmt_ns(p.p999_ns as f64),
+                fmt_ns(p.max_ns as f64),
+            );
+        }
+    }
+
+    let knee_noshed = e15_knee(&noshed, P99_BOUND_NS);
+    let knee_shed = e15_knee(&shed, P99_BOUND_NS);
+    // A knee of zero means the very first point blew the bound; floor it at
+    // half the first sweep step so the ratio stays finite.
+    let knee_ratio = knee_shed / knee_noshed.max(sweep_x[0] / 2.0);
+    let top_noshed = noshed.last().unwrap();
+    let top_shed = shed.last().unwrap();
+    let overload_p99_ratio = top_shed.p99_ns as f64 / (top_noshed.p99_ns as f64).max(1.0);
+    println!(
+        "knee (p99 ≤ {}): no_shed {knee_noshed:.1}x capacity, shed {knee_shed:.1}x → ratio {knee_ratio:.2}",
+        fmt_ns(P99_BOUND_NS as f64)
+    );
+    println!(
+        "at {:.1}x capacity: served p99 {} (shed) vs {} (no shed); admission admitted {} / shed {} (max queue {})",
+        top_shed.offered_x,
+        fmt_ns(top_shed.p99_ns as f64),
+        fmt_ns(top_noshed.p99_ns as f64),
+        admission.admitted(),
+        admission.shed(),
+        fmt_ns(admission.max_queue_ns() as f64),
+    );
+
+    let point_json = |p: &E15Point| {
+        Json::obj([
+            ("offered_x", Json::from(p.offered_x)),
+            ("offered_per_sec", Json::from(p.offered_per_sec)),
+            ("served", Json::from(p.served)),
+            ("shed", Json::from(p.shed)),
+            ("errors", Json::from(p.errors)),
+            ("p50_ns", Json::from(p.p50_ns)),
+            ("p99_ns", Json::from(p.p99_ns)),
+            ("p999_ns", Json::from(p.p999_ns)),
+            ("max_ns", Json::from(p.max_ns)),
+            ("goodput_per_sec", Json::from(p.goodput_per_sec)),
+        ])
+    };
+    let arm_json = |name: &str, points: &[E15Point], knee_x: f64| {
+        Json::obj([
+            ("name", Json::from(name)),
+            ("knee_x", Json::from(knee_x)),
+            ("knee_per_sec", Json::from(knee_x * capacity)),
+            ("points", Json::Arr(points.iter().map(point_json).collect())),
+        ])
+    };
+    Json::obj([
+        ("experiment", Json::from("e15_open_loop")),
+        ("paper_sections", Json::from("8.4")),
+        ("service_ns", Json::from(SERVICE_NS)),
+        ("workers", Json::from(WORKERS)),
+        ("rounds", Json::from(rounds as u64)),
+        ("point_secs", Json::from(point_secs)),
+        ("capacity_per_sec", Json::from(capacity)),
+        ("p99_bound_ns", Json::from(P99_BOUND_NS)),
+        ("queue_bound_ns", Json::from(QUEUE_BOUND.as_nanos() as u64)),
+        ("shed_below", Json::from(SHED_BELOW as u64)),
+        ("high_priority", Json::from(HIGH_PRI as u64)),
+        (
+            "arms",
+            Json::Arr(vec![
+                arm_json("no_shed", &noshed, knee_noshed),
+                arm_json("shed", &shed, knee_shed),
+            ]),
+        ),
+        ("knee_ratio_shed_over_noshed", Json::from(knee_ratio)),
+        (
+            "overload_p99_ratio_shed_over_noshed",
+            Json::from(overload_p99_ratio),
+        ),
+        (
+            "admission",
+            Json::obj([
+                ("admitted", Json::from(admission.admitted())),
+                ("shed", Json::from(admission.shed())),
+                ("max_queue_ns", Json::from(admission.max_queue_ns())),
             ]),
         ),
         ("tracing", tracing_json()),

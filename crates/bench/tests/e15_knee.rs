@@ -1,0 +1,39 @@
+//! The acceptance gate behind E15: with the admission controller shedding
+//! low-priority calls past the queue-delay bound, the offered load at
+//! which served p99 still meets the bound (the knee) must sit strictly
+//! beyond the no-shedding arm's knee. The sweep is driven in multiples of
+//! the host's own measured capacity, so the gate is machine-independent;
+//! retries absorb the occasional CI host that stalls an entire round.
+
+use spring_trace::json::Json;
+
+fn knee_x(doc: &Json, arm: &str) -> f64 {
+    doc.get("arms")
+        .and_then(Json::as_arr)
+        .and_then(|arms| {
+            arms.iter()
+                .find(|a| a.get("name").and_then(Json::as_str) == Some(arm))
+        })
+        .and_then(|a| a.get("knee_x"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("BENCH_e15 json lacks knee_x for arm `{arm}`"))
+}
+
+#[test]
+fn shedding_moves_the_p99_knee_to_a_strictly_higher_offered_load() {
+    let mut last = (0.0, 0.0);
+    for attempt in 0..3 {
+        let doc = spring_bench::report::e15_open_loop(true);
+        let noshed = knee_x(&doc, "no_shed");
+        let shed = knee_x(&doc, "shed");
+        if shed > noshed {
+            return;
+        }
+        eprintln!("attempt {attempt}: shed knee {shed:.1}x vs no-shed knee {noshed:.1}x, retrying");
+        last = (shed, noshed);
+    }
+    panic!(
+        "overload shedding did not move the knee: shed arm {:.1}x capacity vs no-shed {:.1}x",
+        last.0, last.1
+    );
+}

@@ -1,0 +1,116 @@
+//! The acceptance gate behind the open-loop generator: proof that it does
+//! not commit *coordinated omission*.
+//!
+//! Both arms drive the same servant through the same stub and both suffer
+//! the same one-shot 60 ms server stall partway through the run:
+//!
+//! * The closed-loop arm issues each call when the previous one returns
+//!   and times it from its own send. Exactly one call observes the stall,
+//!   and the ~240 calls that a real 4 kHz client population would have
+//!   issued during those 60 ms are simply never sent — so the stall lands
+//!   past p99 of a 1000-call run and the reported tail looks clean.
+//! * The open-loop arm fixes every arrival's intended time in advance and
+//!   measures from that intent. The arrivals scheduled during the stall
+//!   are issued late and their wait is charged to their latency, so the
+//!   stall drags hundreds of samples into the tens of milliseconds and
+//!   p99 tells the truth.
+//!
+//! The gate: the open-loop p99 must exceed 10 ms *and* be at least 10x the
+//! closed-loop p99 for the identical workload. The workload is
+//! sleep-dominated (timed-occupancy servant), so the ratio is robust on
+//! small CI hosts; a couple of retries absorb scheduler outliers.
+
+use spring_bench::fixtures::{ctx_on, work, SpinServant};
+use spring_bench::openloop::{self, OpenLoopConfig};
+use spring_kernel::Kernel;
+use spring_subcontracts::Singleton;
+use spring_trace::now_ns;
+use subcontract::ServerSubcontract;
+
+/// Nominal service time (timed occupancy, one worker).
+const SERVICE_NS: u64 = 100_000;
+/// The one-shot server hiccup both arms must live through.
+const STALL_NS: u64 = 60_000_000;
+/// Arrivals per run.
+const CALLS: u64 = 1_000;
+/// Offered rate for the open-loop arm: ~40% of the 1/service capacity, so
+/// the schedule is comfortably sustainable outside the stall.
+const RATE_PER_SEC: f64 = 4_000.0;
+/// Which arrival trips the stall (far enough in for a warm pool).
+const STALL_AT: u64 = 100;
+
+struct Arm {
+    open_p99_ns: u64,
+    closed_p99_ns: u64,
+}
+
+fn one_round() -> Arm {
+    let kernel = Kernel::new("co-proof");
+    let ctx = ctx_on(&kernel, "driver");
+
+    // Closed-loop: next call when the previous returns, each timed from
+    // its own send.
+    let servant = SpinServant::sleeping(SERVICE_NS);
+    let obj = Singleton.export(&ctx, servant.clone()).unwrap();
+    let mut latencies = Vec::with_capacity(CALLS as usize);
+    for i in 0..CALLS {
+        if i == STALL_AT {
+            servant.arm_stall(STALL_NS);
+        }
+        let t0 = now_ns();
+        work(&obj).unwrap();
+        latencies.push(now_ns().saturating_sub(t0));
+    }
+    latencies.sort_unstable();
+    let closed_p99_ns = latencies[(CALLS as usize * 99) / 100];
+
+    // Open-loop: same servant configuration, same stall, but arrivals are
+    // scheduled in advance and latencies measured from intent.
+    let servant = SpinServant::sleeping(SERVICE_NS);
+    let obj = Singleton.export(&ctx, servant.clone()).unwrap();
+    let report = openloop::run(
+        &OpenLoopConfig {
+            rate_per_sec: RATE_PER_SEC,
+            total_calls: CALLS,
+            workers: 1,
+            registry_hist: None,
+        },
+        |i, _intended| {
+            if i == STALL_AT {
+                servant.arm_stall(STALL_NS);
+            }
+            work(&obj)
+        },
+    );
+    assert_eq!(report.served, CALLS, "no call may be skipped or fail");
+
+    Arm {
+        open_p99_ns: report.served_hist.p99_ns(),
+        closed_p99_ns,
+    }
+}
+
+#[test]
+fn open_loop_charges_a_server_stall_to_the_tail_closed_loop_hides_it() {
+    let mut last = None;
+    for attempt in 0..3 {
+        let arm = one_round();
+        let ratio = arm.open_p99_ns as f64 / arm.closed_p99_ns.max(1) as f64;
+        if arm.open_p99_ns > 10_000_000 && ratio >= 10.0 {
+            return;
+        }
+        eprintln!(
+            "attempt {attempt}: open p99 {:.2} ms, closed p99 {:.2} ms (ratio {ratio:.1}x), retrying",
+            arm.open_p99_ns as f64 / 1e6,
+            arm.closed_p99_ns as f64 / 1e6,
+        );
+        last = Some(arm);
+    }
+    let arm = last.unwrap();
+    panic!(
+        "coordinated-omission proof failed: open-loop p99 {:.2} ms vs closed-loop p99 {:.2} ms \
+         (need open > 10 ms and at least 10x closed)",
+        arm.open_p99_ns as f64 / 1e6,
+        arm.closed_p99_ns as f64 / 1e6,
+    );
+}

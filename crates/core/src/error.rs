@@ -56,6 +56,15 @@ pub enum SpringError {
     /// A fault-tolerant subcontract ran out of alternatives (replicon with
     /// no live replicas, reconnectable past its retry budget).
     Exhausted(&'static str),
+    /// The server's admission controller shed this call under overload
+    /// (§8.4 priority subcontract). Carries the queue delay the server
+    /// measured when it rejected the call, so clients can back off
+    /// proportionally. Not a comm failure: retrying immediately would make
+    /// the overload worse, so fault-tolerant subcontracts surface it.
+    Overloaded {
+        /// Queue delay the server measured at rejection, in nanoseconds.
+        queue_ns: u64,
+    },
 }
 
 impl SpringError {
@@ -96,6 +105,12 @@ impl fmt::Display for SpringError {
             SpringError::ResolveFailed(name) => write!(f, "could not resolve name {name:?}"),
             SpringError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             SpringError::Exhausted(what) => write!(f, "exhausted: {what}"),
+            SpringError::Overloaded { queue_ns } => {
+                write!(
+                    f,
+                    "server overloaded: call shed at {queue_ns} ns queue delay"
+                )
+            }
         }
     }
 }

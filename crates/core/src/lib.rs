@@ -54,8 +54,9 @@ pub use repr::{Repr, ReprState};
 pub use scid::ScId;
 pub use server::{server_dispatch, Dispatch, ServerCtx};
 pub use stub::{
-    decode_reply_status, encode_ok, encode_system_error, encode_unknown_op, encode_user_exception,
-    op_hash, ReplyStatus, STATUS_OK, STATUS_SYSTEM, STATUS_UNKNOWN_OP, STATUS_USER_EXN,
+    decode_reply_status, encode_ok, encode_overloaded, encode_system_error, encode_unknown_op,
+    encode_user_exception, op_hash, ReplyStatus, STATUS_OK, STATUS_OVERLOADED, STATUS_SYSTEM,
+    STATUS_UNKNOWN_OP, STATUS_USER_EXN,
 };
 pub use traits::{ObjParts, Resolver, ServerSubcontract, Subcontract};
 pub use transport::{ship_object, ship_object_copy, KernelTransport, Transport};

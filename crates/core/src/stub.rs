@@ -19,6 +19,9 @@ pub const STATUS_USER_EXN: u8 = 1;
 pub const STATUS_SYSTEM: u8 = 2;
 /// Reply status: the operation number was not recognized.
 pub const STATUS_UNKNOWN_OP: u8 = 3;
+/// Reply status: the server's admission controller shed the call under
+/// overload; the measured queue delay (u64 nanoseconds) follows.
+pub const STATUS_OVERLOADED: u8 = 4;
 
 /// Decoded reply disposition, produced by [`decode_reply_status`].
 #[derive(Debug)]
@@ -41,6 +44,9 @@ pub fn decode_reply_status(reply: &mut CommBuffer) -> Result<ReplyStatus> {
         STATUS_USER_EXN => Ok(ReplyStatus::UserException(reply.get_string()?)),
         STATUS_SYSTEM => Err(SpringError::Remote(reply.get_string()?)),
         STATUS_UNKNOWN_OP => Err(SpringError::UnknownOp(reply.get_u32()?)),
+        STATUS_OVERLOADED => Err(SpringError::Overloaded {
+            queue_ns: reply.get_u64()?,
+        }),
         other => Err(SpringError::Remote(format!("invalid reply status {other}"))),
     }
 }
@@ -67,6 +73,15 @@ pub fn encode_system_error(reply: &mut CommBuffer, message: &str) {
 pub fn encode_unknown_op(reply: &mut CommBuffer, op: u32) {
     reply.put_u8(STATUS_UNKNOWN_OP);
     reply.put_u32(op);
+}
+
+/// Writes an overload-shed reply carrying the queue delay the admission
+/// controller measured. Every stub decodes it into
+/// [`SpringError::Overloaded`] through [`decode_reply_status`], so shedding
+/// is typed end to end without per-interface exception declarations.
+pub fn encode_overloaded(reply: &mut CommBuffer, queue_ns: u64) {
+    reply.put_u8(STATUS_OVERLOADED);
+    reply.put_u64(queue_ns);
 }
 
 /// Computes the 32-bit operation number for an operation name (FNV-1a).
@@ -141,6 +156,23 @@ mod tests {
             decode_reply_status(&mut reply).unwrap_err(),
             SpringError::UnknownOp(0xDEAD)
         );
+    }
+
+    #[test]
+    fn status_roundtrip_overloaded() {
+        let mut reply = CommBuffer::new();
+        encode_overloaded(&mut reply, 123_456);
+        assert_eq!(
+            decode_reply_status(&mut reply).unwrap_err(),
+            SpringError::Overloaded { queue_ns: 123_456 }
+        );
+    }
+
+    #[test]
+    fn overloaded_is_not_a_comm_failure() {
+        // Retrying subcontracts must not treat shedding as a link failure
+        // and hammer an overloaded server with failover attempts.
+        assert!(!SpringError::Overloaded { queue_ns: 1 }.is_comm_failure());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use caching::{CacheManager, CacheStats, Caching, CoherentStats};
 pub use cluster::{Cluster, ClusterServer};
 pub use dedup::{DedupStats, ReplyCache};
 pub use pipeline::{Pipeline, Promise};
-pub use priority::Priority;
+pub use priority::{AdmissionConfig, AdmissionStats, Priority};
 pub use reconnectable::Reconnectable;
 pub use replicon::{ReplicaGroup, Replicon, RepliconServer};
 pub use retry::{Invocation, RetryPolicy};

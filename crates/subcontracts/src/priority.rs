@@ -5,31 +5,106 @@
 //! The paper's point is that such subcontracts can be written by third
 //! parties without modifying the base system — and indeed this module uses
 //! only the public `subcontract` API: `invoke_preamble` piggybacks the
-//! caller's priority in the control region, and the server-side subcontract
-//! publishes it to the servant for the duration of the call.
+//! caller's priority *and enqueue timestamp* in the control region, and the
+//! server-side subcontract publishes the priority to the servant for the
+//! duration of the call.
+//!
+//! The enqueue timestamp is what makes the priority subcontract earn its
+//! keep under overload: [`Priority::export_with_admission`] wraps the
+//! server in an admission controller that measures each call's queue delay
+//! (now − enqueue stamp) and sheds low-priority calls with a typed
+//! [`subcontract::SpringError::Overloaded`] reply when the delay exceeds a bound.
+//! Rejection costs microseconds instead of a full service time, so the
+//! server keeps serving admitted calls at bounded latency instead of
+//! letting the queue — and everyone's tail — grow without limit (the E15
+//! knee experiment). Each shed is recorded as a failed `priority.shed` span
+//! so shedding is visible in traces and latency histograms.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use spring_buf::CommBuffer;
 use spring_kernel::{CallCtx, DoorHandler, DoorId, Message};
 use subcontract::{
-    get_obj_header, put_obj_header, redispatch_if_foreign, server_dispatch, Dispatch, DomainCtx,
-    ObjParts, Repr, Result, ScId, ServerCtx, ServerSubcontract, SpringObj, Subcontract, TypeInfo,
+    encode_overloaded, get_obj_header, put_obj_header, redispatch_if_foreign, server_dispatch,
+    Dispatch, DomainCtx, ObjParts, Repr, Result, ScId, ServerCtx, ServerSubcontract, SpringObj,
+    Subcontract, TypeInfo,
 };
+
+/// Span key recorded (failed) for every call the admission controller
+/// sheds; keyed under [`Priority::ID`], so sheds show up both in trace
+/// trees and in the `(priority, "priority.shed")` latency histogram.
+pub const SHED_SPAN: &str = "priority.shed";
 
 thread_local! {
     /// The priority of the call currently executing on this thread, set by
     /// the server-side priority subcontract. Door calls run on the caller's
     /// thread, so thread-local scope is exactly call scope.
     static CURRENT_CALL_PRIORITY: Cell<u32> = const { Cell::new(0) };
+
+    /// Enqueue timestamp (trace-epoch ns) to stamp on the *next* priority
+    /// call issued from this thread, set by an open-loop load generator so
+    /// the server sees queue delay measured from the intended start time.
+    /// Consumed by `invoke_preamble`; `None` means "stamp at send".
+    static PENDING_ENQUEUE_NS: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Reads the priority of the in-flight call (0 outside one) — what a
 /// time-critical servant consults to order its work.
 pub fn current_call_priority() -> u32 {
     CURRENT_CALL_PRIORITY.with(Cell::get)
+}
+
+/// Stamps the next priority call issued from this thread as having been
+/// enqueued at `ns` (trace-epoch nanoseconds, see [`spring_trace::now_ns`]).
+///
+/// An open-loop generator sets this to the call's *intended* start time, so
+/// the server's admission controller measures true queue delay — including
+/// the time the call spent waiting for a free caller thread — rather than
+/// just the wire time (the coordinated-omission discipline, server side).
+/// Without a stamp, `invoke_preamble` uses the send time.
+pub fn stamp_enqueue_ns(ns: u64) {
+    PENDING_ENQUEUE_NS.with(|c| c.set(Some(ns)));
+}
+
+/// Admission-control policy for [`Priority::export_with_admission`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Queue-delay bound: calls arriving with more measured queue delay
+    /// than this are candidates for shedding.
+    pub queue_bound: Duration,
+    /// Calls with priority below this value are shed when over the bound;
+    /// calls at or above it are always served (they paid for the
+    /// fast-rejection headroom).
+    pub shed_below: u32,
+}
+
+/// Counters published by an admission controller — hardware-independent
+/// evidence of what shedding did during a run.
+#[derive(Debug, Default)]
+pub struct AdmissionStats {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    max_queue_ns: AtomicU64,
+}
+
+impl AdmissionStats {
+    /// Calls that passed admission and were served.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Calls rejected with [`subcontract::SpringError::Overloaded`].
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Largest queue delay the controller measured, in nanoseconds.
+    pub fn max_queue_ns(&self) -> u64 {
+        self.max_queue_ns.load(Ordering::Relaxed)
+    }
 }
 
 /// Client representation: the door plus this object's current priority.
@@ -67,12 +142,17 @@ impl Priority {
 }
 
 /// Server-side priority code: publishes the piggybacked priority for the
-/// call's duration, then forwards to the skeleton.
+/// call's duration, then forwards to the skeleton. When an admission
+/// policy is configured, calls are triaged first: low-priority calls that
+/// have already waited longer than the queue bound are rejected in
+/// microseconds with [`subcontract::SpringError::Overloaded`] instead of consuming a
+/// full service time the server cannot afford.
 struct PriorityHandler {
     ctx: Arc<DomainCtx>,
     disp: Arc<dyn Dispatch>,
     /// Highest priority observed (a stand-in for a scheduler hook).
     max_seen: AtomicU32,
+    admission: Option<(AdmissionConfig, Arc<AdmissionStats>)>,
 }
 
 impl DoorHandler for PriorityHandler {
@@ -85,7 +165,29 @@ impl DoorHandler for PriorityHandler {
         let priority = args
             .get_u32()
             .map_err(|e| spring_kernel::DoorError::Handler(format!("bad priority control: {e}")))?;
+        let enqueue_ns = args
+            .get_u64()
+            .map_err(|e| spring_kernel::DoorError::Handler(format!("bad enqueue stamp: {e}")))?;
         self.max_seen.fetch_max(priority, Ordering::Relaxed);
+
+        if let Some((cfg, stats)) = &self.admission {
+            let queue_ns = spring_trace::now_ns().saturating_sub(enqueue_ns);
+            stats.max_queue_ns.fetch_max(queue_ns, Ordering::Relaxed);
+            if queue_ns > cfg.queue_bound.as_nanos() as u64 && priority < cfg.shed_below {
+                stats.shed.fetch_add(1, Ordering::Relaxed);
+                let mut span = spring_trace::span_start(
+                    SHED_SPAN,
+                    self.ctx.domain().trace_scope(),
+                    Priority::ID.raw(),
+                );
+                span.fail();
+                drop(span);
+                let mut reply = CommBuffer::new();
+                encode_overloaded(&mut reply, queue_ns);
+                return Ok(reply.into_message());
+            }
+            stats.admitted.fetch_add(1, Ordering::Relaxed);
+        }
 
         // Publish for the servant; restore afterwards (calls can nest).
         let previous = CURRENT_CALL_PRIORITY.with(|c| c.replace(priority));
@@ -113,9 +215,15 @@ impl Subcontract for Priority {
     }
 
     fn invoke_preamble(&self, obj: &SpringObj, call: &mut CommBuffer) -> Result<()> {
-        // Transfer the scheduling priority in the control region (§8.4).
+        // Transfer the scheduling priority in the control region (§8.4),
+        // plus the enqueue timestamp the admission controller subtracts
+        // from its own clock to measure queue delay.
         let repr = obj.repr().downcast::<PriorityRepr>(self.name())?;
         call.put_u32(repr.priority.load(Ordering::Relaxed));
+        let enqueue_ns = PENDING_ENQUEUE_NS
+            .with(Cell::take)
+            .unwrap_or_else(spring_trace::now_ns);
+        call.put_u64(enqueue_ns);
         Ok(())
     }
 
@@ -174,14 +282,19 @@ impl Subcontract for Priority {
     }
 }
 
-impl ServerSubcontract for Priority {
-    fn export(&self, ctx: &Arc<DomainCtx>, disp: Arc<dyn Dispatch>) -> Result<SpringObj> {
+impl Priority {
+    fn export_inner(
+        ctx: &Arc<DomainCtx>,
+        disp: Arc<dyn Dispatch>,
+        admission: Option<(AdmissionConfig, Arc<AdmissionStats>)>,
+    ) -> Result<SpringObj> {
         let type_info = disp.type_info();
         ctx.types().register(type_info);
         let handler = Arc::new(PriorityHandler {
             ctx: ctx.clone(),
             disp,
             max_seen: AtomicU32::new(0),
+            admission,
         });
         let door = ctx.domain().create_door(handler)?;
         Ok(SpringObj::assemble(
@@ -193,5 +306,26 @@ impl ServerSubcontract for Priority {
                 priority: AtomicU32::new(0),
             }),
         ))
+    }
+
+    /// Exports a servant behind an admission controller: calls whose
+    /// measured queue delay exceeds `cfg.queue_bound` and whose priority is
+    /// below `cfg.shed_below` are rejected with
+    /// [`subcontract::SpringError::Overloaded`] before reaching the servant. Returns
+    /// the exported object plus the controller's live counters.
+    pub fn export_with_admission(
+        ctx: &Arc<DomainCtx>,
+        disp: Arc<dyn Dispatch>,
+        cfg: AdmissionConfig,
+    ) -> Result<(SpringObj, Arc<AdmissionStats>)> {
+        let stats = Arc::new(AdmissionStats::default());
+        let obj = Self::export_inner(ctx, disp, Some((cfg, stats.clone())))?;
+        Ok((obj, stats))
+    }
+}
+
+impl ServerSubcontract for Priority {
+    fn export(&self, ctx: &Arc<DomainCtx>, disp: Arc<dyn Dispatch>) -> Result<SpringObj> {
+        Self::export_inner(ctx, disp, None)
     }
 }

@@ -20,9 +20,9 @@
 //! * [`TraceCtx`] — the propagated identifier pair ([`ctx`]).
 //! * [`span_start`] / [`span_end`] / [`SpanGuard`] — the span API; completed
 //!   spans are recorded into per-scope lock-free ring buffers ([`ring`]).
-//! * [`hist`] — fixed log2-bucket latency histograms keyed by
+//! * [`hist`] — fixed log-linear (HDR-style) latency histograms keyed by
 //!   (subcontract id | door token, operation); no allocation on the record
-//!   path.
+//!   path, exact p50/p90/p99/p999/max in snapshots.
 //! * [`export`] — a human text tree dump and a JSON exporter ([`json`])
 //!   used by the benchmark harness to emit `BENCH_*.json`.
 
@@ -56,7 +56,7 @@ pub mod keys {
     pub const PIPELINE_ATTEMPT: &str = "pipeline.attempt";
 }
 pub use export::{histograms_json, render_text, span_forest, spans_json, SpanNode};
-pub use hist::{HistSnapshot, Histogram};
+pub use hist::{histogram, record, snapshot_all, snapshot_of, HistSnapshot, Histogram};
 pub use ring::{Event, Ring};
 pub use span::{span_child_of, span_end, span_start, SpanGuard};
 

@@ -1,0 +1,67 @@
+//! Property tests for the log-linear histogram: its quantiles must track
+//! the exact sorted-sample quantiles within the advertised relative-error
+//! bound, for any mix of magnitudes.
+
+use proptest::prelude::*;
+use spring_trace::hist::SUB_BUCKETS;
+use spring_trace::Histogram;
+
+/// The exact `p`-quantile under the same convention the histogram uses:
+/// the `ceil(n * p)`-th smallest sample (1-indexed), clamped to `[1, n]`.
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = (((n as f64) * p).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Samples spanning the exact region, the log-linear region, and the
+/// clamped microsecond/millisecond decades a latency histogram sees.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..4_096,
+        4_096u64..1_000_000,
+        1_000_000u64..10_000_000_000,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_match_exact_quantiles_within_bounded_relative_error(
+        samples in proptest::collection::vec(sample_strategy(), 1..400),
+    ) {
+        let hist = Histogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for &p in &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, p);
+            let approx = snap.percentile_ns(p);
+            // Never under-reports...
+            prop_assert!(
+                approx >= exact,
+                "p={p}: approx {approx} < exact {exact} (n={})",
+                sorted.len()
+            );
+            // ...and overshoots by at most one log-linear bucket width,
+            // which is bounded by exact/SUB_BUCKETS (and is 0 for samples
+            // in the exact region).
+            let slack = exact / SUB_BUCKETS as u64;
+            prop_assert!(
+                approx <= exact + slack,
+                "p={p}: approx {approx} > exact {exact} + {slack}"
+            );
+        }
+        // The count/sum/max side stays exact.
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        prop_assert_eq!(snap.max_ns, *sorted.last().unwrap());
+        prop_assert_eq!(snap.sum_ns, sorted.iter().sum::<u64>());
+        prop_assert_eq!(snap.percentile_ns(1.0), snap.max_ns);
+    }
+}
