@@ -30,6 +30,10 @@
 //!   right.
 //! * `e15 overload p99`: served p99 at the top of the sweep, shed ÷
 //!   no-shed (lower is better). Guards the tail-latency win itself.
+//! * `e16`: Unix-domain-socket null-call ns ÷ simulated-backend null-call
+//!   ns, both measured in the same run (lower is better). Guards the
+//!   socket transport's per-call overhead — framing, writer-thread
+//!   handoff, reply matching — against the in-process floor.
 //!
 //! A metric regresses when it moves past `tolerance` (default 20%) in the
 //! bad direction; improvements never fail. Missing files and missing
@@ -51,6 +55,9 @@ struct Metric {
     /// Extracts the metric, or says exactly which JSON path was missing or
     /// malformed so a renamed field fails loudly instead of skipping.
     extract: fn(&Json) -> Result<f64, String>,
+    /// Overrides the run-wide tolerance for metrics with known-wider run
+    /// noise (socket latency depends on scheduler wakeup timing).
+    tolerance: Option<f64>,
 }
 
 const METRICS: &[Metric] = &[
@@ -59,48 +66,63 @@ const METRICS: &[Metric] = &[
         file: "BENCH_e1.json",
         higher_is_better: false,
         extract: e1_overhead_ratio,
+        tolerance: None,
     },
     Metric {
         name: "e1 idl-flat/fused stub ratio",
         file: "BENCH_e1.json",
         higher_is_better: false,
         extract: e1_flat_ratio,
+        tolerance: None,
     },
     Metric {
         name: "e1 flat/copying echo ratio",
         file: "BENCH_e1.json",
         higher_is_better: false,
         extract: e1_echo_ratio,
+        tolerance: None,
     },
     Metric {
         name: "e1t thread-scaling ratio",
         file: "BENCH_e1t.json",
         higher_is_better: true,
         extract: e1t_scaling,
+        tolerance: None,
     },
     Metric {
         name: "e4 caching speedup at max latency",
         file: "BENCH_e4.json",
         higher_is_better: true,
         extract: e4_caching_speedup,
+        tolerance: None,
     },
     Metric {
         name: "e14 pipelining speedup at 1ms",
         file: "BENCH_e14.json",
         higher_is_better: true,
         extract: e14_speedup,
+        tolerance: None,
     },
     Metric {
         name: "e15 shed/no-shed knee ratio",
         file: "BENCH_e15.json",
         higher_is_better: true,
         extract: e15_knee_ratio,
+        tolerance: None,
     },
     Metric {
         name: "e15 overload p99 shed/no-shed",
         file: "BENCH_e15.json",
         higher_is_better: false,
         extract: e15_overload_p99_ratio,
+        tolerance: None,
+    },
+    Metric {
+        name: "e16 uds/sim null-call ratio",
+        file: "BENCH_e16.json",
+        higher_is_better: false,
+        extract: e16_uds_ratio,
+        tolerance: Some(0.60),
     },
 ];
 
@@ -206,6 +228,10 @@ fn e15_overload_p99_ratio(doc: &Json) -> Result<f64, String> {
     num(doc, "overload_p99_ratio_shed_over_noshed")
 }
 
+fn e16_uds_ratio(doc: &Json) -> Result<f64, String> {
+    num(doc, "uds_vs_sim_null_ratio")
+}
+
 fn load(dir: &Path, file: &str) -> Result<Json, String> {
     let path = dir.join(file);
     let text = std::fs::read_to_string(&path)
@@ -267,19 +293,24 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        let tol = metric.tolerance.unwrap_or(tolerance);
         let regressed = if metric.higher_is_better {
-            cur < base * (1.0 - tolerance)
+            cur < base * (1.0 - tol)
         } else {
-            cur > base * (1.0 + tolerance)
+            cur > base * (1.0 + tol)
         };
         let delta = (cur - base) / base * 100.0;
         println!(
-            "{:<36} {:>10.3} {:>10.3} {:>+7.1}%  {}",
+            "{:<36} {:>10.3} {:>10.3} {:>+7.1}%  {}{}",
             metric.name,
             base,
             cur,
             delta,
-            if regressed { "REGRESSED" } else { "ok" }
+            if regressed { "REGRESSED" } else { "ok" },
+            match metric.tolerance {
+                Some(t) => format!(" (tolerance {:.0}%)", t * 100.0),
+                None => String::new(),
+            }
         );
         failed |= regressed;
     }

@@ -10,17 +10,18 @@
 //! Flags:
 //!
 //! * `--quick` — fewer iterations per timed loop (local sanity runs).
-//! * `--smoke` — E1/E1t/E4/E14/E15 only, with tiny iteration counts and
-//!   short sweeps; the CI per-push mode whose sole purpose is producing
-//!   `BENCH_e1.json` / `BENCH_e1t.json` / `BENCH_e4.json` /
-//!   `BENCH_e14.json` / `BENCH_e15.json` and proving the harness still
-//!   runs.
+//! * `--smoke` — E1/E1t/E4/E14/E15/E16 only, with tiny iteration counts
+//!   and short sweeps; the CI per-push mode whose sole purpose is
+//!   producing `BENCH_e1.json` / `BENCH_e1t.json` / `BENCH_e4.json` /
+//!   `BENCH_e14.json` / `BENCH_e15.json` / `BENCH_e16.json` and proving
+//!   the harness still runs.
 //! * `--trace` — enable distributed tracing for the run, so the JSON
 //!   output carries per-subcontract latency histograms (slower; not the
 //!   configuration EXPERIMENTS.md records).
 //! * `--json-dir DIR` — write the machine-readable results of E1, E1t,
-//!   E4, E14 and E15 to `DIR/BENCH_e1.json`, `DIR/BENCH_e1t.json`,
-//!   `DIR/BENCH_e4.json`, `DIR/BENCH_e14.json` and `DIR/BENCH_e15.json`.
+//!   E4, E14, E15 and E16 to `DIR/BENCH_e1.json`, `DIR/BENCH_e1t.json`,
+//!   `DIR/BENCH_e4.json`, `DIR/BENCH_e14.json`, `DIR/BENCH_e15.json`
+//!   and `DIR/BENCH_e16.json`.
 
 use spring_bench::report;
 use spring_trace::json::Json;
@@ -65,6 +66,7 @@ fn main() {
     let e4 = report::e4_caching(smoke || quick);
     let e14 = report::e14_pipeline(smoke || quick);
     let e15 = report::e15_open_loop(smoke || quick);
+    let e16 = report::e16_socket(smoke || quick);
 
     if !smoke {
         report::e2_transmit(iters);
@@ -86,6 +88,7 @@ fn main() {
         write_json(&dir, "BENCH_e4.json", &e4);
         write_json(&dir, "BENCH_e14.json", &e14);
         write_json(&dir, "BENCH_e15.json", &e15);
+        write_json(&dir, "BENCH_e16.json", &e16);
     }
 
     println!();

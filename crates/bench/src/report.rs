@@ -1612,3 +1612,210 @@ pub fn e15_open_loop(smoke: bool) -> Json {
         ("tracing", tracing_json()),
     ])
 }
+
+/// One E16 arm's measurements.
+struct E16Arm {
+    name: &'static str,
+    null_ns: f64,
+    burst_per_s: f64,
+}
+
+/// Measures one transport arm of E16 against an echo door: sequential
+/// null-call latency (fastest batch) and a pipelined burst where
+/// concurrent callers share the link batcher.
+fn e16_measure(
+    name: &'static str,
+    rounds: u32,
+    iters: u64,
+    burst_threads: u64,
+    burst_calls: u64,
+    domain: &spring_kernel::Domain,
+    door: spring_kernel::DoorId,
+) -> E16Arm {
+    use spring_kernel::Message;
+    let null_ns = ns_per_iter_min(rounds, iters, || {
+        let r = domain.call(door, Message::from_bytes(vec![0])).unwrap();
+        assert_eq!(r.bytes, [0]);
+    });
+    let elapsed = time_once(|| {
+        std::thread::scope(|s| {
+            for _ in 0..burst_threads {
+                let d = domain.clone();
+                let td = domain.copy_door(door).unwrap();
+                s.spawn(move || {
+                    for _ in 0..burst_calls {
+                        d.call(td, Message::from_bytes(vec![0])).unwrap();
+                    }
+                    d.delete_door(td).unwrap();
+                });
+            }
+        });
+    });
+    let burst_per_s = (burst_threads * burst_calls) as f64 / elapsed.as_secs_f64();
+    E16Arm {
+        name,
+        null_ns,
+        burst_per_s,
+    }
+}
+
+/// Spawns `peer serve` (built alongside this binary) and waits for its
+/// READY line, which carries the bound address.
+fn e16_spawn_peer(
+    exe: &std::path::Path,
+    node: u64,
+    transport: &[&str],
+) -> (std::process::Child, String) {
+    use std::io::BufRead as _;
+    let mut child = std::process::Command::new(exe)
+        .arg("serve")
+        .args(["--node", &node.to_string()])
+        .args(transport)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn peer serve");
+    let stdout = child.stdout.take().expect("peer stdout");
+    let ready = std::io::BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("peer exited before READY")
+        .expect("read READY line");
+    let addr = ready
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("unexpected peer output: {ready}"))
+        .to_owned();
+    (child, addr)
+}
+
+/// E16 — the socket transport: door calls between real OS processes over
+/// Unix-domain and TCP sockets, against the in-process simulated backend
+/// (DESIGN.md §5.15). The serving side is a second process running the
+/// `peer` binary; the figures CI gates on are ratios within this one run.
+pub fn e16_socket(smoke: bool) -> Json {
+    use spring_kernel::{CallCtx, Message};
+    header("E16: socket transport — doors between OS processes (DESIGN.md §5.15)");
+    let rounds = if smoke { 3 } else { 5 };
+    let iters: u64 = if smoke { 300 } else { 5_000 };
+    let burst_threads: u64 = 8;
+    let burst_calls: u64 = if smoke { 100 } else { 1_000 };
+
+    // Simulated arm: two nodes of one in-process network, echo proxy door.
+    let sim = {
+        let net = Network::new(NetConfig::default());
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let server = b.kernel().create_domain("server");
+        let client = a.kernel().create_domain("client");
+        let door = server
+            .create_door(Arc::new(|_: &CallCtx, msg: Message| Ok(msg)))
+            .unwrap();
+        let arrived = net
+            .ship_message(
+                &server,
+                &client,
+                Message {
+                    doors: vec![door],
+                    ..Message::default()
+                },
+            )
+            .unwrap();
+        e16_measure(
+            "sim",
+            rounds,
+            iters,
+            burst_threads,
+            burst_calls,
+            &client,
+            arrived.doors[0],
+        )
+    };
+
+    // Socket arms need the `peer` binary next to this one.
+    let peer_exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("peer")))
+        .filter(|p| p.exists());
+    let mut socket_arms = Vec::new();
+    if let Some(exe) = &peer_exe {
+        let uds_path = std::env::temp_dir()
+            .join(format!("spring-e16-{}.sock", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&uds_path);
+        for (name, node, transport) in [
+            ("uds", 150u64, vec!["--uds", uds_path.as_str()]),
+            ("tcp", 152u64, vec!["--tcp", "127.0.0.1:0"]),
+        ] {
+            let (mut child, addr) = e16_spawn_peer(exe, node, &transport);
+            let net = Network::new(NetConfig::default());
+            let n = net.add_node_with_id(format!("e16-{name}-client"), node + 1);
+            let domain = n.kernel().create_domain("app");
+            let peer = if name == "uds" {
+                net.connect_uds(n.id(), &addr)
+            } else {
+                net.connect_tcp(n.id(), &addr)
+            }
+            .expect("connect to peer");
+            let door = peer.bootstrap_door(&domain).expect("bootstrap door");
+            socket_arms.push(e16_measure(
+                name,
+                rounds,
+                iters,
+                burst_threads,
+                burst_calls,
+                &domain,
+                door,
+            ));
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = std::fs::remove_file(&uds_path);
+    } else {
+        println!(
+            "socket arms SKIPPED: peer binary not found next to this one \
+             (build with `cargo build --release -p spring-bench --bins`)"
+        );
+    }
+
+    println!(
+        "{:<10} {:>14} {:>18}",
+        "arm", "null ns/call", "burst calls/s"
+    );
+    let all: Vec<&E16Arm> = std::iter::once(&sim).chain(socket_arms.iter()).collect();
+    for arm in &all {
+        println!(
+            "{:<10} {:>14} {:>18.0}",
+            arm.name,
+            fmt_ns(arm.null_ns),
+            arm.burst_per_s
+        );
+    }
+    let uds_ratio = socket_arms
+        .iter()
+        .find(|a| a.name == "uds")
+        .map(|a| a.null_ns / sim.null_ns);
+    if let Some(r) = uds_ratio {
+        println!("uds null-call vs simulated backend: {r:.1}x");
+    }
+
+    let arm_json = |a: &E16Arm| {
+        Json::obj([
+            ("name", Json::from(a.name)),
+            ("null_ns", Json::from(a.null_ns)),
+            ("burst_calls_per_s", Json::from(a.burst_per_s)),
+        ])
+    };
+    let mut fields = vec![
+        ("experiment", Json::from("e16_socket")),
+        ("design_section", Json::from("5.15")),
+        ("iters", Json::from(iters)),
+        ("burst_threads", Json::from(burst_threads)),
+        ("burst_calls_per_thread", Json::from(burst_calls)),
+        ("arms", Json::Arr(all.iter().map(|a| arm_json(a)).collect())),
+    ];
+    if let Some(r) = uds_ratio {
+        fields.push(("uds_vs_sim_null_ratio", Json::from(r)));
+    }
+    fields.push(("tracing", tracing_json()));
+    Json::obj(fields)
+}

@@ -167,9 +167,28 @@ impl<'a> Tables<'a> {
 impl Kernel {
     /// Creates a fresh kernel (one simulated machine).
     pub fn new(name: impl Into<String>) -> Self {
+        Self::with_raw_node(name, NEXT_NODE.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Creates a kernel with an explicit node identifier.
+    ///
+    /// Node identifiers are process-local counters, so two kernels in two
+    /// *different OS processes* would both claim node 1 — and a socket
+    /// transport connecting them could no longer tell "coming home" doors
+    /// from foreign ones. Processes that talk to each other over real
+    /// sockets assign their kernels distinct ids up front (the bench
+    /// harness passes them on the command line). The process-local counter
+    /// is bumped past the given id, so later `Kernel::new` calls in the
+    /// same process never collide with it.
+    pub fn with_node_id(name: impl Into<String>, node: NodeId) -> Self {
+        NEXT_NODE.fetch_max(node.raw() + 1, Ordering::Relaxed);
+        Self::with_raw_node(name, node.raw())
+    }
+
+    fn with_raw_node(name: impl Into<String>, raw: u64) -> Self {
         Kernel {
             inner: Arc::new(Inner {
-                node: NodeId(NEXT_NODE.fetch_add(1, Ordering::Relaxed)),
+                node: NodeId(raw),
                 name: name.into(),
                 domains: RwLock::new(HashMap::new()),
                 door_shards: Box::new(std::array::from_fn(|_| Mutex::new(HashMap::new()))),

@@ -43,24 +43,28 @@ pub(crate) struct BatchBudget {
 /// One call riding in a frame: its request in wire form, the export-table
 /// entries freshly pinned for it, the slot its caller is parked on, and —
 /// filled in by the shipper — the staged reply.
-pub(crate) struct PendingEntry {
+///
+/// Public so [`crate::Transport`] implementations can appear in public
+/// signatures, but opaque: the fields are driven by the crate's own
+/// batching and shipping machinery.
+pub struct PendingEntry {
     /// Export-table index of the target door on the destination node.
-    pub export: u64,
+    pub(crate) export: u64,
     /// The request, until the shipper takes it for delivery.
-    pub wire: Option<WireMessage>,
+    pub(crate) wire: Option<WireMessage>,
     /// Export ids freshly pinned by `to_wire_tracked` for this request;
     /// released if the frame never delivers.
-    pub fresh: Vec<u64>,
+    pub(crate) fresh: Vec<u64>,
     /// Where the caller waits for the outcome.
-    pub slot: Arc<CallSlot>,
+    pub(crate) slot: Arc<CallSlot>,
     /// The executed call's reply, staged between execution and the reply
     /// frame.
-    pub reply: Option<Message>,
+    pub(crate) reply: Option<Message>,
     /// The reply in wire form, staged for the reply hop.
-    pub reply_wire: Option<WireMessage>,
+    pub(crate) reply_wire: Option<WireMessage>,
     /// Export ids freshly pinned for the reply; released if the reply frame
     /// is lost.
-    pub reply_fresh: Vec<u64>,
+    pub(crate) reply_fresh: Vec<u64>,
 }
 
 /// A one-shot rendezvous between a queued caller and the frame shipper.

@@ -88,6 +88,37 @@ impl NetStatsSnapshot {
     }
 }
 
+/// Point-in-time snapshot of the socket transport's counters.
+///
+/// All zero unless the process has opened socket connections (the simulated
+/// backend never touches these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SocketStatsSnapshot {
+    /// Length-prefixed frames written to socket peers.
+    pub frames_sent: u64,
+    /// Length-prefixed frames read from socket peers.
+    pub frames_received: u64,
+    /// Frame payload bytes written (excluding the 4-byte length prefix).
+    pub bytes_sent: u64,
+    /// Frame payload bytes read (excluding the 4-byte length prefix).
+    pub bytes_received: u64,
+    /// Connections torn down (peer EOF, I/O error, malformed frame).
+    pub disconnects: u64,
+}
+
+impl SocketStatsSnapshot {
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &SocketStatsSnapshot) -> SocketStatsSnapshot {
+        SocketStatsSnapshot {
+            frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
+            frames_received: self.frames_received.saturating_sub(earlier.frames_received),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            disconnects: self.disconnects.saturating_sub(earlier.disconnects),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

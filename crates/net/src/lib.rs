@@ -30,10 +30,24 @@
 //! pipelined calls announced, every call flushes immediately in its own
 //! frame.
 
+//! Real sockets: the same door/proxy machinery runs between OS processes —
+//! see [`Transport`] for the pluggable frame-shipping boundary and
+//! DESIGN.md §5.15 for the contract. [`Network::listen_tcp`],
+//! [`Network::listen_uds`], [`Network::connect_tcp`] and
+//! [`Network::connect_uds`] attach socket backends; everything else
+//! (batching, partial-failure discipline, at-most-once retries) is shared
+//! with the simulated backend, which remains the default.
+
 mod batch;
 mod config;
 mod network;
 mod server;
+mod socket;
+mod transport;
 
-pub use config::{NetConfig, NetStatsSnapshot};
+pub use batch::PendingEntry;
+pub use config::{NetConfig, NetStatsSnapshot, SocketStatsSnapshot};
 pub use network::{Network, Node};
+pub use server::NetServer;
+pub use socket::{SocketListener, SocketPeer};
+pub use transport::Transport;

@@ -5,12 +5,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use spring_kernel::{Domain, DoorError, FaultRng, Kernel, Message, NodeId};
+use spring_kernel::{Domain, DoorError, DoorId, FaultRng, Kernel, Message, NodeId};
 use spring_trace::keys;
 
 use crate::batch::{BatchBudget, LinkBatcher, PendingEntry};
-use crate::config::{NetConfig, NetStatsSnapshot};
+use crate::config::{NetConfig, NetStatsSnapshot, SocketStatsSnapshot};
 use crate::server::{NetServer, WireCap};
+use crate::socket::{SocketListener, SocketPeer};
+use crate::transport::{SimTransport, Transport};
 
 pub(crate) struct NetworkInner {
     nodes: RwLock<HashMap<u64, Arc<NetServer>>>,
@@ -20,6 +22,11 @@ pub(crate) struct NetworkInner {
     partitions: RwLock<HashSet<(u64, u64)>>,
     /// One call batcher per (source, destination) link, created on first use.
     batchers: RwLock<HashMap<(u64, u64), Arc<LinkBatcher>>>,
+    /// Destination node -> the transport whose frames reach it. Local
+    /// nodes route through [`SimTransport`] (the default, in-process
+    /// simulated backend); nodes in *other OS processes* route through the
+    /// socket peer that reached them.
+    transports: RwLock<HashMap<u64, Arc<dyn Transport>>>,
     rng: Mutex<FaultRng>,
     messages: AtomicU64,
     bytes: AtomicU64,
@@ -30,6 +37,11 @@ pub(crate) struct NetworkInner {
     batch_flushes: AtomicU64,
     calls_batched: AtomicU64,
     calls_unbatched: AtomicU64,
+    socket_frames_sent: AtomicU64,
+    socket_frames_received: AtomicU64,
+    socket_bytes_sent: AtomicU64,
+    socket_bytes_received: AtomicU64,
+    socket_disconnects: AtomicU64,
 }
 
 impl NetworkInner {
@@ -41,12 +53,37 @@ impl NetworkInner {
         self.proxies.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn server(&self, node: u64) -> Result<Arc<NetServer>, DoorError> {
+    pub(crate) fn server(&self, node: u64) -> Result<Arc<NetServer>, DoorError> {
         self.nodes
             .read()
             .get(&node)
             .cloned()
             .ok_or_else(|| DoorError::Comm(format!("unknown node {node}")))
+    }
+
+    /// Registers (or replaces, on reconnect) the transport reaching `node`.
+    pub(crate) fn register_transport(&self, node: u64, transport: Arc<dyn Transport>) {
+        self.transports.write().insert(node, transport);
+    }
+
+    pub(crate) fn transport_of(&self, node: u64) -> Option<Arc<dyn Transport>> {
+        self.transports.read().get(&node).cloned()
+    }
+
+    pub(crate) fn count_socket_send(&self, bytes: usize) {
+        self.socket_frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.socket_bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_socket_receive(&self, bytes: usize) {
+        self.socket_frames_received.fetch_add(1, Ordering::Relaxed);
+        self.socket_bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_socket_disconnect(&self) {
+        self.socket_disconnects.fetch_add(1, Ordering::Relaxed);
     }
 
     fn check_link(&self, a: u64, b: u64) -> Result<(), DoorError> {
@@ -113,7 +150,7 @@ impl NetworkInner {
     /// traffic announced flushes immediately in a frame of its own, which
     /// reproduces the unbatched path exactly — same hops, same loss rolls,
     /// in the same order.
-    pub fn forward_call(
+    pub(crate) fn forward_call(
         &self,
         from: &Arc<NetServer>,
         target: WireCap,
@@ -149,7 +186,7 @@ impl NetworkInner {
             };
             let batcher = self.link(from.node.raw(), target.origin);
             batcher.submit(target.export, wire, fresh, budget, &|frame| {
-                self.ship_batch(from, target.origin, frame)
+                self.ship_frame(from, target.origin, frame)
             })
         })();
         if result.is_err() {
@@ -169,7 +206,30 @@ impl NetworkInner {
     /// releases only that call's identifiers (the rest of the frame
     /// proceeds), and a lost reply frame releases the exports pinned by
     /// every staged reply.
-    fn ship_batch(&self, from: &Arc<NetServer>, origin: u64, frame: &mut [PendingEntry]) {
+    /// Routes one flushed frame to whichever transport reaches `origin`.
+    ///
+    /// Local nodes (and unknown destinations, whose "unknown node" error
+    /// must match the pre-transport behaviour exactly) go through
+    /// [`NetworkInner::ship_batch`]; nodes in other OS processes go through
+    /// the socket peer that introduced them.
+    pub(crate) fn ship_frame(
+        &self,
+        from: &Arc<NetServer>,
+        origin: u64,
+        frame: &mut [PendingEntry],
+    ) {
+        match self.transport_of(origin) {
+            Some(transport) => transport.ship(from, frame),
+            None => self.ship_batch(from, origin, frame),
+        }
+    }
+
+    pub(crate) fn ship_batch(
+        &self,
+        from: &Arc<NetServer>,
+        origin: u64,
+        frame: &mut [PendingEntry],
+    ) {
         let calls = frame.len() as u64;
         self.batch_flushes.fetch_add(1, Ordering::Relaxed);
         if frame.len() > 1 {
@@ -378,6 +438,7 @@ impl Network {
                 config: RwLock::new(Arc::new(config)),
                 partitions: RwLock::new(HashSet::new()),
                 batchers: RwLock::new(HashMap::new()),
+                transports: RwLock::new(HashMap::new()),
                 rng: Mutex::new(FaultRng::seed_from_u64(0x5u64)),
                 messages: AtomicU64::new(0),
                 bytes: AtomicU64::new(0),
@@ -388,6 +449,11 @@ impl Network {
                 batch_flushes: AtomicU64::new(0),
                 calls_batched: AtomicU64::new(0),
                 calls_unbatched: AtomicU64::new(0),
+                socket_frames_sent: AtomicU64::new(0),
+                socket_frames_received: AtomicU64::new(0),
+                socket_bytes_sent: AtomicU64::new(0),
+                socket_bytes_received: AtomicU64::new(0),
+                socket_disconnects: AtomicU64::new(0),
             }),
             waker: Mutex::new(None),
         });
@@ -407,14 +473,83 @@ impl Network {
 
     /// Adds a machine: a fresh kernel plus its network server domain.
     pub fn add_node(&self, name: impl Into<String>) -> Node {
-        let kernel = Kernel::new(name);
+        self.install_node(Kernel::new(name))
+    }
+
+    /// Adds a machine with an explicitly chosen node identifier.
+    ///
+    /// Node ids are normally process-local counters, so two OS processes
+    /// would both mint node 1 and a socket peer's "coming home" detection
+    /// (`cap.origin == self.node`) would confuse the two machines. Process
+    /// harnesses assign each process a distinct id up front instead.
+    pub fn add_node_with_id(&self, name: impl Into<String>, node: u64) -> Node {
+        self.install_node(Kernel::with_node_id(name, NodeId::from_raw(node)))
+    }
+
+    fn install_node(&self, kernel: Kernel) -> Node {
         let domain = kernel.create_domain("network-server");
         let server = NetServer::new(kernel.node_id(), domain, self.inner.clone());
+        let raw = kernel.node_id().raw();
+        self.inner.nodes.write().insert(raw, server);
+        // Local nodes are reached by the in-process simulated backend.
         self.inner
-            .nodes
-            .write()
-            .insert(kernel.node_id().raw(), server);
+            .register_transport(raw, Arc::new(SimTransport::new(&self.inner, raw)));
         Node { kernel }
+    }
+
+    /// Publishes `door` (owned by `from`) as `node`'s bootstrap door: its
+    /// export id is advertised in the socket handshake, so a freshly
+    /// connected process has one well-known door to start exchanging
+    /// identifiers through. Consumes the identifier.
+    pub fn set_bootstrap(
+        &self,
+        node: NodeId,
+        from: &Domain,
+        door: DoorId,
+    ) -> Result<(), DoorError> {
+        let server = self.inner.server(node.raw())?;
+        let held = from.transfer_door(door, &server.domain)?;
+        let (cap, _fresh) = server.export_cap_tracked(held)?;
+        server.set_bootstrap(cap.export);
+        Ok(())
+    }
+
+    /// Starts accepting socket connections for `node` on a TCP address.
+    /// Returns the listener handle (and the bound address, for ephemeral
+    /// ports) — dropping the handle stops accepting.
+    pub fn listen_tcp(&self, node: NodeId, addr: &str) -> Result<Arc<SocketListener>, DoorError> {
+        SocketListener::bind_tcp(&self.inner, node, addr)
+    }
+
+    /// Starts accepting socket connections for `node` on a Unix-domain
+    /// socket path.
+    pub fn listen_uds(&self, node: NodeId, path: &str) -> Result<Arc<SocketListener>, DoorError> {
+        SocketListener::bind_uds(&self.inner, node, path)
+    }
+
+    /// Connects `node` to a peer process listening on a TCP address.
+    ///
+    /// The returned peer handle reports the remote node id and bootstrap
+    /// export learned in the handshake; proxy doors for the remote machine
+    /// route through the connection (redialling on failure).
+    pub fn connect_tcp(&self, node: NodeId, addr: &str) -> Result<Arc<SocketPeer>, DoorError> {
+        SocketPeer::connect_tcp(&self.inner, node, addr)
+    }
+
+    /// Connects `node` to a peer process listening on a Unix-domain socket.
+    pub fn connect_uds(&self, node: NodeId, path: &str) -> Result<Arc<SocketPeer>, DoorError> {
+        SocketPeer::connect_uds(&self.inner, node, path)
+    }
+
+    /// Socket-transport counter snapshot.
+    pub fn socket_stats(&self) -> SocketStatsSnapshot {
+        SocketStatsSnapshot {
+            frames_sent: self.inner.socket_frames_sent.load(Ordering::Relaxed),
+            frames_received: self.inner.socket_frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.inner.socket_bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.inner.socket_bytes_received.load(Ordering::Relaxed),
+            disconnects: self.inner.socket_disconnects.load(Ordering::Relaxed),
+        }
     }
 
     /// Replaces the network behaviour (latency, jitter, loss).

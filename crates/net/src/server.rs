@@ -27,6 +27,7 @@ pub(crate) struct WireCap {
 /// allocated once (from the thread-local buffer pool) and handed along.
 /// The simulated cross-address-space copy happens in the kernel's
 /// `translate`, where a real system pays it too.
+#[derive(Debug)]
 pub(crate) struct WireMessage {
     pub bytes: Vec<u8>,
     pub caps: Vec<WireCap>,
@@ -55,21 +56,30 @@ struct Tables {
 }
 
 /// One node's network server.
-pub(crate) struct NetServer {
-    pub node: NodeId,
-    pub domain: Domain,
+///
+/// Opaque outside this crate: [`crate::Transport`] implementations receive
+/// it by reference so frames can be mapped to and from wire form, but its
+/// tables are driven only by the crate's own shipping paths.
+pub struct NetServer {
+    pub(crate) node: NodeId,
+    pub(crate) domain: Domain,
     tables: Mutex<Tables>,
     next_export: AtomicU64,
+    /// Export id of the published bootstrap door, advertised in the socket
+    /// handshake so freshly connected processes have one well-known door
+    /// to start exchanging identifiers through.
+    bootstrap: Mutex<Option<u64>>,
     net: Arc<NetworkInner>,
 }
 
 impl NetServer {
-    pub fn new(node: NodeId, domain: Domain, net: Arc<NetworkInner>) -> Arc<NetServer> {
+    pub(crate) fn new(node: NodeId, domain: Domain, net: Arc<NetworkInner>) -> Arc<NetServer> {
         Arc::new(NetServer {
             node,
             domain,
             tables: Mutex::new(Tables::default()),
             next_export: AtomicU64::new(1),
+            bootstrap: Mutex::new(None),
             net,
         })
     }
@@ -80,7 +90,7 @@ impl NetServer {
     /// existing export or passing a proxy target through). Only fresh
     /// entries may be rolled back by [`NetServer::unexport`]: a reused
     /// entry is shared with every other node already holding a proxy.
-    fn export_cap_tracked(&self, door: DoorId) -> Result<(WireCap, bool), DoorError> {
+    pub(crate) fn export_cap_tracked(&self, door: DoorId) -> Result<(WireCap, bool), DoorError> {
         let token = self.domain.door_token(door)?;
         let mut tables = self.tables.lock();
 
@@ -122,7 +132,7 @@ impl NetServer {
     /// so a send lost on the wire does not pin doors forever. Must only be
     /// given export ids reported fresh by the matching
     /// [`NetServer::to_wire_tracked`] call.
-    pub fn unexport(&self, fresh: &[u64]) {
+    pub(crate) fn unexport(&self, fresh: &[u64]) {
         let mut tables = self.tables.lock();
         for &export in fresh {
             if let Some(door) = tables.exports.remove(&export) {
@@ -136,7 +146,7 @@ impl NetServer {
 
     /// Maps a network-form capability back to a door identifier owned by
     /// this network server's domain.
-    pub fn import_cap(self: &Arc<Self>, cap: WireCap) -> Result<DoorId, DoorError> {
+    pub(crate) fn import_cap(self: &Arc<Self>, cap: WireCap) -> Result<DoorId, DoorError> {
         if cap.origin == self.node.raw() {
             // The identifier came home: mint a fresh one for the receiver.
             let tables = self.tables.lock();
@@ -170,8 +180,18 @@ impl NetServer {
         Ok(issued)
     }
 
+    /// Records the export id of the published bootstrap door.
+    pub(crate) fn set_bootstrap(&self, export: u64) {
+        *self.bootstrap.lock() = Some(export);
+    }
+
+    /// The export id advertised to connecting processes, if any.
+    pub(crate) fn bootstrap_export(&self) -> Option<u64> {
+        *self.bootstrap.lock()
+    }
+
     /// Resolves an export id to the pinned door for call delivery.
-    pub fn export_target(&self, export: u64) -> Result<DoorId, DoorError> {
+    pub(crate) fn export_target(&self, export: u64) -> Result<DoorId, DoorError> {
         self.tables
             .lock()
             .exports
@@ -182,7 +202,7 @@ impl NetServer {
 
     /// Converts an outbound message (identifiers owned by this server's
     /// domain) to wire form.
-    pub fn to_wire(&self, msg: Message) -> Result<WireMessage, DoorError> {
+    pub(crate) fn to_wire(&self, msg: Message) -> Result<WireMessage, DoorError> {
         self.to_wire_tracked(msg).map(|(wire, _)| wire)
     }
 
@@ -192,7 +212,10 @@ impl NetServer {
     /// leaking one pinned door per lost send. If exporting fails partway,
     /// the entries already created for this message are rolled back before
     /// the error propagates.
-    pub fn to_wire_tracked(&self, msg: Message) -> Result<(WireMessage, Vec<u64>), DoorError> {
+    pub(crate) fn to_wire_tracked(
+        &self,
+        msg: Message,
+    ) -> Result<(WireMessage, Vec<u64>), DoorError> {
         let mut caps = Vec::with_capacity(msg.doors.len());
         let mut fresh = Vec::new();
         let mut doors = msg.doors.into_iter();
@@ -229,7 +252,7 @@ impl NetServer {
 
     /// Converts an inbound wire message to a local message whose identifiers
     /// are owned by this server's domain.
-    pub fn from_wire(self: &Arc<Self>, wire: WireMessage) -> Result<Message, DoorError> {
+    pub(crate) fn from_wire(self: &Arc<Self>, wire: WireMessage) -> Result<Message, DoorError> {
         let mut doors = Vec::with_capacity(wire.caps.len());
         for cap in wire.caps {
             match self.import_cap(cap) {

@@ -1,0 +1,939 @@
+//! The socket backend: doors over TCP and Unix-domain sockets between real
+//! OS processes.
+//!
+//! One connection carries symmetric, bidirectional traffic: either side may
+//! send request frames (so callbacks — a servant invoking a proxy door that
+//! points back at its caller's process — just work), and replies are
+//! correlated by per-sender frame id. Each connection owns two threads:
+//!
+//! * a **writer**, draining a channel of encoded frames through one
+//!   `BufWriter` (one flush per frame). A frame that fails to reach the
+//!   wire runs its `on_fail` cleanup — the partial-failure hook that keeps
+//!   export tables leak-free when a send dies mid-frame — and every frame
+//!   queued behind the failure is cleaned up the same way.
+//! * a **reader**, decoding inbound frames. Request frames are dispatched
+//!   on a fresh thread (never inline, so nested calls over the same link
+//!   cannot deadlock it); reply frames settle the waiter registered under
+//!   their id. A malformed frame — declared counts or lengths disagreeing
+//!   with the bytes received — tears the connection down with a typed
+//!   error rather than panicking or hanging.
+//!
+//! Failure mapping: everything transient (dial failure, peer EOF, write
+//! error, stale export on a restarted peer) surfaces as
+//! [`DoorError::Comm`], so the replicon/reconnectable retry machinery and
+//! at-most-once deduplication work unchanged over sockets. A dialing peer
+//! redials automatically on the next ship after its connection dies;
+//! accepted peers cannot redial (the server can't call a client back into
+//! existence), so their ships fail with `Comm` until the client returns.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex, Weak};
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use spring_kernel::framing::{self, FrameReadError};
+use spring_kernel::{Domain, DoorError, DoorId, NodeId};
+use spring_trace::keys;
+
+use crate::batch::PendingEntry;
+use crate::network::NetworkInner;
+use crate::server::{NetServer, WireCap, WireMessage};
+use crate::transport::{
+    decode_hello, decode_reply, decode_request, encode_hello, encode_reply, encode_request,
+    frame_kind, Hello, ReplyFrame, ReplyOutcome, RequestFrame, Transport, KIND_REPLY, KIND_REQUEST,
+};
+
+/// How long the two-frame HELLO exchange may take before the connection is
+/// abandoned (a peer that connects and goes silent must not wedge the
+/// dialer or the accept loop forever).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Poll interval of the non-blocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+fn comm(e: impl std::fmt::Display) -> DoorError {
+    DoorError::Comm(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Stream: one abstraction over the two socket families.
+// ---------------------------------------------------------------------------
+
+enum Stream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Uds(s) => Stream::Uds(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waiter: a one-shot rendezvous between a shipper and the reader thread.
+// ---------------------------------------------------------------------------
+
+struct Waiter {
+    slot: StdMutex<Option<Result<ReplyFrame, DoorError>>>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    fn new() -> Arc<Waiter> {
+        Arc::new(Waiter {
+            slot: StdMutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// First write wins: a reply racing the connection's death settles the
+    /// waiter exactly once.
+    fn fulfill(&self, outcome: Result<ReplyFrame, DoorError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<ReplyFrame, DoorError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// An encoded frame queued for the writer thread.
+struct OutFrame {
+    bytes: Vec<u8>,
+    /// Run if the frame never reaches the wire (write failure, or queued
+    /// behind one): the partial-failure cleanup for whatever the frame
+    /// carried — failing a request's waiter, releasing a reply's freshly
+    /// pinned exports.
+    on_fail: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// Consumes one injected write fault, if any are armed.
+fn take_injected_fault(inject: &AtomicU64) -> bool {
+    inject
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+// ---------------------------------------------------------------------------
+// Conn: one established, handshaken connection.
+// ---------------------------------------------------------------------------
+
+struct Conn {
+    net: Weak<NetworkInner>,
+    kind: &'static str,
+    /// The local node whose network server serves requests arriving here.
+    local: u64,
+    /// What the peer declared in its HELLO.
+    remote: Hello,
+    /// Kept for `die`'s shutdown; the reader and writer threads own clones.
+    stream: Stream,
+    tx: mpsc::Sender<OutFrame>,
+    /// Frame id -> the shipper waiting for that frame's reply.
+    waiters: Mutex<HashMap<u64, Arc<Waiter>>>,
+    next_frame: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl Conn {
+    fn dial(
+        net: &Arc<NetworkInner>,
+        local: NodeId,
+        addr: &Addr,
+        kind: &'static str,
+        inject: Arc<AtomicU64>,
+    ) -> Result<Arc<Conn>, DoorError> {
+        let stream = match addr {
+            Addr::Tcp(a) => {
+                Stream::Tcp(TcpStream::connect(a).map_err(|e| comm(format!("connect {a}: {e}")))?)
+            }
+            Addr::Uds(p) => Stream::Uds(
+                UnixStream::connect(p)
+                    .map_err(|e| comm(format!("connect {}: {e}", p.display())))?,
+            ),
+        };
+        Conn::establish(net, local, stream, true, kind, inject)
+    }
+
+    /// Runs the HELLO exchange on a fresh stream and spins up the
+    /// connection's writer and reader threads. The dialer speaks first.
+    fn establish(
+        net: &Arc<NetworkInner>,
+        local: NodeId,
+        mut stream: Stream,
+        dialer: bool,
+        kind: &'static str,
+        inject: Arc<AtomicU64>,
+    ) -> Result<Arc<Conn>, DoorError> {
+        let server = net.server(local.raw())?;
+        if let Stream::Tcp(s) = &stream {
+            // Frames are latency-sensitive RPCs; never Nagle them.
+            let _ = s.set_nodelay(true);
+        }
+        let hello = Hello {
+            node: local.raw(),
+            name: server.domain.kernel().name().to_owned(),
+            bootstrap: server.bootstrap_export(),
+        };
+        stream
+            .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+            .map_err(comm)?;
+        let mut buf = Vec::new();
+        let remote = if dialer {
+            framing::write_frame(&mut stream, &encode_hello(&hello)).map_err(comm)?;
+            let n = framing::read_frame(&mut stream, &mut buf).map_err(comm)?;
+            decode_hello(&buf[..n]).map_err(|e| comm(format!("bad handshake: {e}")))?
+        } else {
+            let n = framing::read_frame(&mut stream, &mut buf).map_err(comm)?;
+            let h = decode_hello(&buf[..n]).map_err(|e| comm(format!("bad handshake: {e}")))?;
+            framing::write_frame(&mut stream, &encode_hello(&hello)).map_err(comm)?;
+            h
+        };
+        stream.set_read_timeout(None).map_err(comm)?;
+        if remote.node == local.raw() {
+            return Err(comm(format!(
+                "peer claims our own node id {}: processes sharing a network must be \
+                 assigned distinct node ids (Network::add_node_with_id)",
+                remote.node
+            )));
+        }
+
+        let (tx, rx) = mpsc::channel::<OutFrame>();
+        let writer_stream = stream.try_clone().map_err(comm)?;
+        let reader_stream = stream.try_clone().map_err(comm)?;
+        let conn = Arc::new(Conn {
+            net: Arc::downgrade(net),
+            kind,
+            local: local.raw(),
+            remote,
+            stream,
+            tx,
+            waiters: Mutex::new(HashMap::new()),
+            next_frame: AtomicU64::new(1),
+            dead: AtomicBool::new(false),
+        });
+        {
+            let conn = conn.clone();
+            thread::Builder::new()
+                .name(format!("spring-sock-w-{}", conn.remote.node))
+                .spawn(move || writer_loop(&conn, &rx, writer_stream, &inject))
+                .map_err(comm)?;
+        }
+        {
+            let conn = conn.clone();
+            thread::Builder::new()
+                .name(format!("spring-sock-r-{}", conn.remote.node))
+                .spawn(move || reader_loop(&conn, reader_stream))
+                .map_err(comm)?;
+        }
+        Ok(conn)
+    }
+
+    /// Queues a frame for the writer; if the connection is already dead (or
+    /// dies before the writer drains it), the frame's `on_fail` cleanup
+    /// runs instead of the write.
+    fn send(&self, frame: OutFrame) {
+        if self.dead.load(Ordering::SeqCst) {
+            if let Some(f) = frame.on_fail {
+                f();
+            }
+            return;
+        }
+        if let Err(mpsc::SendError(mut lost)) = self.tx.send(frame) {
+            if let Some(f) = lost.on_fail.take() {
+                f();
+            }
+        }
+    }
+
+    /// Tears the connection down once: shuts the socket, fails every
+    /// in-flight waiter with `reason` (so a peer disconnect mid-call fails
+    /// the call with `Comm` instead of hanging it), and counts the
+    /// disconnect.
+    fn die(&self, reason: DoorError) {
+        if self.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.stream.shutdown();
+        let waiters: Vec<Arc<Waiter>> = self.waiters.lock().drain().map(|(_, w)| w).collect();
+        for w in waiters {
+            w.fulfill(Err(reason.clone()));
+        }
+        if let Some(net) = self.net.upgrade() {
+            net.count_socket_disconnect();
+        }
+    }
+}
+
+fn writer_loop(
+    conn: &Arc<Conn>,
+    rx: &mpsc::Receiver<OutFrame>,
+    stream: Stream,
+    inject: &AtomicU64,
+) {
+    let mut w = BufWriter::new(stream);
+    for mut frame in rx.iter() {
+        let result = if take_injected_fault(inject) {
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected write fault",
+            ))
+        } else {
+            framing::write_frame(&mut w, &frame.bytes).and_then(|()| w.flush())
+        };
+        match result {
+            Ok(()) => {
+                if let Some(net) = conn.net.upgrade() {
+                    net.count_socket_send(frame.bytes.len());
+                }
+            }
+            Err(e) => {
+                // This frame never reached the wire, and neither will
+                // anything queued behind it: run every cleanup so no
+                // export stays pinned and no caller stays parked.
+                if let Some(f) = frame.on_fail.take() {
+                    f();
+                }
+                conn.die(comm(format!("send on {} link failed: {e}", conn.kind)));
+                for mut late in rx.iter() {
+                    if let Some(f) = late.on_fail.take() {
+                        f();
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn reader_loop(conn: &Arc<Conn>, stream: Stream) {
+    let mut r = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        let n = match framing::read_frame(&mut r, &mut buf) {
+            Ok(n) => n,
+            Err(FrameReadError::Closed) => {
+                conn.die(comm(format!("{} peer disconnected", conn.kind)));
+                return;
+            }
+            Err(e) => {
+                // Includes `Truncated` (stream ended short of the declared
+                // length) and `Oversized` (a garbage prefix): typed
+                // rejection, never a hang on bytes that will not arrive.
+                conn.die(comm(format!("{} link read failed: {e}", conn.kind)));
+                return;
+            }
+        };
+        let Some(net) = conn.net.upgrade() else {
+            conn.die(comm("network shut down"));
+            return;
+        };
+        net.count_socket_receive(n);
+        let frame = &buf[..n];
+        match frame_kind(frame) {
+            Ok(KIND_REQUEST) => match decode_request(frame) {
+                Ok(req) => {
+                    // Never dispatch inline: a servant that calls back
+                    // through a proxy door on this very connection needs
+                    // the reader free to deliver the nested reply.
+                    let conn2 = conn.clone();
+                    let spawned = thread::Builder::new()
+                        .name("spring-sock-dispatch".into())
+                        .spawn(move || dispatch_request(&conn2, req));
+                    if spawned.is_err() {
+                        conn.die(comm("dispatch thread spawn failed"));
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // A frame whose declared counts or lengths disagree
+                    // with the bytes received: reject it with the typed
+                    // error and tear the link down — the peer's framing is
+                    // not trustworthy, and its in-flight calls must fail
+                    // with `Comm` rather than hang.
+                    conn.die(comm(format!("malformed {} frame: {e}", conn.kind)));
+                    return;
+                }
+            },
+            Ok(KIND_REPLY) => match decode_reply(frame) {
+                Ok(reply) => {
+                    // An unknown id is a late reply for a ship that
+                    // already failed; drop it.
+                    let waiter = conn.waiters.lock().remove(&reply.id);
+                    if let Some(w) = waiter {
+                        w.fulfill(Ok(reply));
+                    }
+                }
+                Err(e) => {
+                    conn.die(comm(format!("malformed {} frame: {e}", conn.kind)));
+                    return;
+                }
+            },
+            _ => {
+                conn.die(comm(format!("unexpected {} frame kind", conn.kind)));
+                return;
+            }
+        }
+    }
+}
+
+/// Serves one inbound request frame: delivery and execution per call, in
+/// submission order, mirroring the simulated backend's per-call
+/// partial-failure discipline, then one reply frame back.
+fn dispatch_request(conn: &Arc<Conn>, req: RequestFrame) {
+    let Some(net) = conn.net.upgrade() else {
+        return;
+    };
+    let server = match net.server(conn.local) {
+        Ok(s) => s,
+        Err(e) => {
+            // The serving node is gone: every call aboard is undeliverable,
+            // and the sender must release what it pinned for them.
+            let outcomes: Vec<ReplyOutcome> = req
+                .calls
+                .iter()
+                .map(|_| ReplyOutcome::NotDelivered(e.clone()))
+                .collect();
+            conn.send(OutFrame {
+                bytes: encode_reply(req.id, &outcomes),
+                on_fail: None,
+            });
+            return;
+        }
+    };
+
+    let calls = req.calls.len() as u64;
+    let mut span = spring_trace::span_start(keys::NET_BATCH, server.domain.trace_scope(), calls);
+    let mut outcomes = Vec::with_capacity(req.calls.len());
+    // Exports freshly pinned by the staged replies, released as one batch
+    // if the reply frame never reaches the wire (the lost-reply-frame
+    // discipline: the calls executed, these replies will not be re-sent).
+    let mut reply_fresh: Vec<u64> = Vec::new();
+    for call in req.calls {
+        let door = match server.export_target(call.export) {
+            Ok(d) => d,
+            Err(e) => {
+                outcomes.push(ReplyOutcome::NotDelivered(e));
+                continue;
+            }
+        };
+        let delivered = match server.from_wire(call.wire) {
+            Ok(m) => m,
+            Err(e) => {
+                outcomes.push(ReplyOutcome::NotDelivered(e));
+                continue;
+            }
+        };
+        // Snapshot the landed identifiers: if the kernel call fails before
+        // moving them into the serving domain they would be dropped
+        // undeleted (same backstop as the simulated backend).
+        let delivered_doors = delivered.doors.clone();
+        let reply = match server.domain.call(door, delivered) {
+            Ok(r) => r,
+            Err(e) => {
+                for d in delivered_doors {
+                    let _ = server.domain.delete_door(d);
+                }
+                outcomes.push(ReplyOutcome::Failed(e));
+                continue;
+            }
+        };
+        match server.to_wire_tracked(reply) {
+            Ok((wire, fresh)) => {
+                reply_fresh.extend(fresh);
+                outcomes.push(ReplyOutcome::Ok(wire));
+            }
+            Err(e) => outcomes.push(ReplyOutcome::Failed(e)),
+        }
+    }
+    if outcomes.iter().any(|o| !matches!(o, ReplyOutcome::Ok(_))) {
+        span.fail();
+    }
+
+    let bytes = encode_reply(req.id, &outcomes);
+    let on_fail: Option<Box<dyn FnOnce() + Send>> = if reply_fresh.is_empty() {
+        None
+    } else {
+        let server = server.clone();
+        Some(Box::new(move || server.unexport(&reply_fresh)))
+    };
+    conn.send(OutFrame { bytes, on_fail });
+}
+
+// ---------------------------------------------------------------------------
+// SocketPeer: the Transport reaching one remote process.
+// ---------------------------------------------------------------------------
+
+enum Addr {
+    Tcp(String),
+    Uds(PathBuf),
+}
+
+/// A connection to one remote OS process, registered as the [`Transport`]
+/// for that process's node.
+///
+/// Obtained from [`crate::Network::connect_tcp`] /
+/// [`crate::Network::connect_uds`] (dialing side, redials on failure) or
+/// fabricated by a [`SocketListener`]'s accept loop (accepting side, fails
+/// with `Comm` once the client goes away).
+pub struct SocketPeer {
+    net: Weak<NetworkInner>,
+    local: NodeId,
+    kind: &'static str,
+    /// Where to redial when the connection dies; `None` on accepted peers.
+    redial: Option<Addr>,
+    conn: Mutex<Option<Arc<Conn>>>,
+    /// Self-reference for re-registering under a restarted peer's new node
+    /// id; set immediately after construction.
+    me: Mutex<Weak<SocketPeer>>,
+    /// Armed write faults: each one makes the writer thread fail one frame
+    /// as if the kernel returned an I/O error, exercising the real
+    /// send-failure cleanup path deterministically.
+    inject: Arc<AtomicU64>,
+}
+
+impl SocketPeer {
+    pub(crate) fn connect_tcp(
+        net: &Arc<NetworkInner>,
+        node: NodeId,
+        addr: &str,
+    ) -> Result<Arc<SocketPeer>, DoorError> {
+        Self::connect(net, node, Addr::Tcp(addr.to_string()), "tcp")
+    }
+
+    pub(crate) fn connect_uds(
+        net: &Arc<NetworkInner>,
+        node: NodeId,
+        path: &str,
+    ) -> Result<Arc<SocketPeer>, DoorError> {
+        Self::connect(net, node, Addr::Uds(PathBuf::from(path)), "uds")
+    }
+
+    fn connect(
+        net: &Arc<NetworkInner>,
+        node: NodeId,
+        addr: Addr,
+        kind: &'static str,
+    ) -> Result<Arc<SocketPeer>, DoorError> {
+        let inject = Arc::new(AtomicU64::new(0));
+        let conn = Conn::dial(net, node, &addr, kind, inject.clone())?;
+        let peer = Arc::new(SocketPeer {
+            net: Arc::downgrade(net),
+            local: node,
+            kind,
+            redial: Some(addr),
+            conn: Mutex::new(Some(conn.clone())),
+            me: Mutex::new(Weak::new()),
+            inject,
+        });
+        *peer.me.lock() = Arc::downgrade(&peer);
+        net.register_transport(conn.remote.node, peer.clone());
+        Ok(peer)
+    }
+
+    fn accepted(
+        net: &Arc<NetworkInner>,
+        node: NodeId,
+        conn: Arc<Conn>,
+        kind: &'static str,
+        inject: Arc<AtomicU64>,
+    ) -> Arc<SocketPeer> {
+        let peer = Arc::new(SocketPeer {
+            net: Arc::downgrade(net),
+            local: node,
+            kind,
+            redial: None,
+            conn: Mutex::new(Some(conn.clone())),
+            me: Mutex::new(Weak::new()),
+            inject,
+        });
+        *peer.me.lock() = Arc::downgrade(&peer);
+        net.register_transport(conn.remote.node, peer.clone());
+        peer
+    }
+
+    /// The live connection, redialling if the previous one died (dialing
+    /// side only).
+    fn live_conn(&self, net: &Arc<NetworkInner>) -> Result<Arc<Conn>, DoorError> {
+        let mut guard = self.conn.lock();
+        if let Some(c) = guard.as_ref() {
+            if !c.dead.load(Ordering::SeqCst) {
+                return Ok(c.clone());
+            }
+        }
+        let addr = self
+            .redial
+            .as_ref()
+            .ok_or_else(|| comm(format!("{} peer disconnected", self.kind)))?;
+        let prior = guard.as_ref().map(|c| c.remote.node);
+        let conn = Conn::dial(net, self.local, addr, self.kind, self.inject.clone())?;
+        if prior.is_some() && prior != Some(conn.remote.node) {
+            // The peer restarted under a different node id: its new
+            // identity routes through this link too. (The old id's entry
+            // stays and fails with "stale export", which is accurate.)
+            if let Some(me) = self.me.lock().upgrade() {
+                net.register_transport(conn.remote.node, me);
+            }
+        }
+        *guard = Some(conn.clone());
+        Ok(conn)
+    }
+
+    /// The remote process's node id, as declared in its HELLO.
+    pub fn remote_node(&self) -> Option<NodeId> {
+        self.conn
+            .lock()
+            .as_ref()
+            .map(|c| NodeId::from_raw(c.remote.node))
+    }
+
+    /// The remote process's machine name, as declared in its HELLO.
+    pub fn remote_name(&self) -> Option<String> {
+        self.conn.lock().as_ref().map(|c| c.remote.name.clone())
+    }
+
+    /// Imports the peer's advertised bootstrap door as a proxy door owned
+    /// by `into` — the first identifier a freshly connected process holds,
+    /// from which all further doors are exchanged by ordinary calls.
+    pub fn bootstrap_door(&self, into: &Domain) -> Result<DoorId, DoorError> {
+        let net = self
+            .net
+            .upgrade()
+            .ok_or_else(|| comm("network shut down"))?;
+        let conn = self.live_conn(&net)?;
+        let boot = conn
+            .remote
+            .bootstrap
+            .ok_or_else(|| comm("peer published no bootstrap door"))?;
+        let server = net.server(self.local.raw())?;
+        let door = server.import_cap(WireCap {
+            origin: conn.remote.node,
+            export: boot,
+        })?;
+        server.domain.transfer_door(door, into)
+    }
+
+    /// Arms `n` injected write faults: the next `n` frames queued on this
+    /// peer's connection fail as if the socket write returned an error,
+    /// killing the connection exactly like a real mid-send failure.
+    pub fn inject_write_faults(&self, n: u64) {
+        self.inject.store(n, Ordering::Relaxed);
+    }
+
+    fn ship_inner(
+        &self,
+        from: &Arc<NetServer>,
+        frame: &mut [PendingEntry],
+    ) -> Result<(), DoorError> {
+        let net = self
+            .net
+            .upgrade()
+            .ok_or_else(|| comm("network shut down"))?;
+        let conn = self.live_conn(&net)?;
+
+        let mut sent = Vec::with_capacity(frame.len());
+        let mut wires = Vec::with_capacity(frame.len());
+        for (i, entry) in frame.iter_mut().enumerate() {
+            if let Some(wire) = entry.wire.take() {
+                sent.push(i);
+                wires.push((entry.export, wire));
+            }
+        }
+        let borrowed: Vec<(u64, &WireMessage)> = wires.iter().map(|(e, w)| (*e, w)).collect();
+        let id = conn.next_frame.fetch_add(1, Ordering::Relaxed);
+        let bytes = encode_request(id, &borrowed);
+        drop(borrowed);
+
+        let waiter = Waiter::new();
+        conn.waiters.lock().insert(id, waiter.clone());
+        if conn.dead.load(Ordering::SeqCst) {
+            // The connection died between `live_conn` and here; `die` may
+            // have drained the waiter map before our insert.
+            conn.waiters.lock().remove(&id);
+            return Err(comm(format!("{} peer disconnected", self.kind)));
+        }
+        let fail_waiter = waiter.clone();
+        let fkind = self.kind;
+        conn.send(OutFrame {
+            bytes,
+            on_fail: Some(Box::new(move || {
+                fail_waiter.fulfill(Err(comm(format!("send on {fkind} link failed"))));
+            })),
+        });
+
+        let reply = match waiter.wait() {
+            Ok(r) => r,
+            Err(e) => {
+                conn.waiters.lock().remove(&id);
+                return Err(e);
+            }
+        };
+        if reply.outcomes.len() != sent.len() {
+            let e = comm(format!(
+                "protocol violation: {} outcomes for {} calls",
+                reply.outcomes.len(),
+                sent.len()
+            ));
+            conn.die(e.clone());
+            return Err(e);
+        }
+        for (i, outcome) in sent.into_iter().zip(reply.outcomes) {
+            let entry = &mut frame[i];
+            match outcome {
+                ReplyOutcome::Ok(wire) => {
+                    let landed = from.from_wire(wire);
+                    entry.slot.fulfill(landed);
+                }
+                ReplyOutcome::NotDelivered(e) => {
+                    // The call never reached its serving domain: nothing
+                    // can ever reference the exports pinned for it.
+                    from.unexport(&entry.fresh);
+                    entry.slot.fulfill(Err(e));
+                }
+                ReplyOutcome::Failed(e) => {
+                    // Delivered but failed in execution: the pins stay, as
+                    // the peer's proxy table may reference them.
+                    entry.slot.fulfill(Err(e));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transport for SocketPeer {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn ship(&self, from: &Arc<NetServer>, frame: &mut [PendingEntry]) {
+        let calls = frame.len() as u64;
+        let mut span = spring_trace::span_start(keys::NET_BATCH, from.domain.trace_scope(), calls);
+        if let Err(e) = self.ship_inner(from, frame) {
+            // The frame failed wholesale (dial failure, send failure, peer
+            // disconnect awaiting the reply): whether the peer saw any of
+            // it is unknowable, but its connection state is gone either
+            // way, so every export freshly pinned for the frame is
+            // released and every in-flight call fails with `Comm` — the
+            // retrying subcontracts re-pin on the next attempt.
+            span.fail();
+            for entry in frame.iter_mut() {
+                from.unexport(&entry.fresh);
+                entry.slot.fulfill(Err(e.clone()));
+            }
+        }
+        // Backstop: every caller wakes, even off a path missed above.
+        for entry in frame.iter() {
+            entry.slot.abort_if_unsettled();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SocketListener: the accepting side.
+// ---------------------------------------------------------------------------
+
+enum Acceptor {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Acceptor {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Acceptor::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // The listener is non-blocking (for stop polling); the
+                // accepted stream must not inherit that.
+                s.set_nonblocking(false)?;
+                Ok(Stream::Tcp(s))
+            }
+            Acceptor::Uds(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Uds(s))
+            }
+        }
+    }
+}
+
+/// Accepts socket connections for one node; dropping it stops the accept
+/// loop (established connections live on).
+pub struct SocketListener {
+    stop: Arc<AtomicBool>,
+    addr: String,
+    uds_path: Option<PathBuf>,
+    inject: Arc<AtomicU64>,
+}
+
+impl SocketListener {
+    pub(crate) fn bind_tcp(
+        net: &Arc<NetworkInner>,
+        node: NodeId,
+        addr: &str,
+    ) -> Result<Arc<SocketListener>, DoorError> {
+        let listener = TcpListener::bind(addr).map_err(|e| comm(format!("bind {addr}: {e}")))?;
+        let local = listener.local_addr().map_err(comm)?.to_string();
+        listener.set_nonblocking(true).map_err(comm)?;
+        Self::spawn(net, node, Acceptor::Tcp(listener), local, None, "tcp")
+    }
+
+    pub(crate) fn bind_uds(
+        net: &Arc<NetworkInner>,
+        node: NodeId,
+        path: &str,
+    ) -> Result<Arc<SocketListener>, DoorError> {
+        let p = PathBuf::from(path);
+        // A stale socket file from a previous run would fail the bind.
+        let _ = std::fs::remove_file(&p);
+        let listener = UnixListener::bind(&p).map_err(|e| comm(format!("bind {path}: {e}")))?;
+        listener.set_nonblocking(true).map_err(comm)?;
+        Self::spawn(
+            net,
+            node,
+            Acceptor::Uds(listener),
+            path.to_string(),
+            Some(p),
+            "uds",
+        )
+    }
+
+    fn spawn(
+        net: &Arc<NetworkInner>,
+        node: NodeId,
+        acceptor: Acceptor,
+        addr: String,
+        uds_path: Option<PathBuf>,
+        kind: &'static str,
+    ) -> Result<Arc<SocketListener>, DoorError> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let inject = Arc::new(AtomicU64::new(0));
+        let this = Arc::new(SocketListener {
+            stop: stop.clone(),
+            addr,
+            uds_path,
+            inject: inject.clone(),
+        });
+        let net = Arc::downgrade(net);
+        thread::Builder::new()
+            .name(format!("spring-sock-accept-{kind}"))
+            .spawn(move || accept_loop(&net, node, &acceptor, &stop, &inject, kind))
+            .map_err(comm)?;
+        Ok(this)
+    }
+
+    /// The bound address — the actual one, so `127.0.0.1:0` reports its
+    /// ephemeral port.
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Arms `n` injected write faults on connections accepted by this
+    /// listener (shared across them): each fault fails one outbound frame
+    /// as if the socket write errored, exercising the reply-loss cleanup
+    /// path deterministically.
+    pub fn inject_write_faults(&self, n: u64) {
+        self.inject.store(n, Ordering::Relaxed);
+    }
+}
+
+impl Drop for SocketListener {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(p) = &self.uds_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+fn accept_loop(
+    net: &Weak<NetworkInner>,
+    node: NodeId,
+    acceptor: &Acceptor,
+    stop: &AtomicBool,
+    inject: &Arc<AtomicU64>,
+    kind: &'static str,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match acceptor.accept() {
+            Ok(stream) => {
+                let Some(net) = net.upgrade() else { return };
+                // Handshake on the accept thread: connections arrive
+                // rarely and the exchange is two tiny frames (bounded by
+                // the handshake timeout).
+                match Conn::establish(&net, node, stream, false, kind, inject.clone()) {
+                    Ok(conn) => {
+                        // Registration in the transports map keeps the
+                        // peer alive; replaced wholesale if the same
+                        // remote node reconnects.
+                        let _peer = SocketPeer::accepted(&net, node, conn, kind, inject.clone());
+                    }
+                    Err(_) => {
+                        // Bad handshake: drop the connection, keep
+                        // accepting.
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}

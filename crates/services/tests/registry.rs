@@ -1,0 +1,171 @@
+//! The bootstrap registry, end to end over a real socket: two `Network`
+//! instances standing in for two OS processes, connected over a Unix-domain
+//! socket, exchanging *typed* objects through the registry door advertised
+//! in the HELLO — the full cross-process first-contact path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spring_buf::CommBuffer;
+use spring_net::{NetConfig, Network};
+use spring_services::{fs, register_fs_types, FileServer, RegistryClient, RegistryServant};
+use spring_subcontracts::register_standard;
+use subcontract::{DomainCtx, SpringError};
+
+fn ctx_on(kernel: &spring_kernel::Kernel, name: &str) -> Arc<DomainCtx> {
+    let ctx = DomainCtx::new(kernel.create_domain(name));
+    register_standard(&ctx);
+    register_fs_types(&ctx);
+    ctx
+}
+
+fn temp_sock(tag: &str) -> String {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("spring-reg-{}-{tag}-{n}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn registry_serves_typed_objects_across_a_socket() {
+    // Server "process": a file server whose file system is registered
+    // under a well-known name, with the registry door as the bootstrap.
+    let s_net = Network::new(NetConfig::default());
+    let s_node = s_net.add_node_with_id("server-proc", 201);
+    let s_ctx = ctx_on(s_node.kernel(), "fileserver");
+    let reg_domain = s_node.kernel().create_domain("registry");
+    let (servant, reg_door) = RegistryServant::publish(&reg_domain).unwrap();
+
+    let fileserver = FileServer::new(&s_ctx, "cache_manager");
+    fileserver.put("/etc/motd", b"hello over sockets");
+    let fsys = fileserver.export_fs().unwrap();
+    servant.register_local("fs", &fsys.into_obj()).unwrap();
+    assert_eq!(servant.names(), vec!["fs".to_owned()]);
+
+    // `set_bootstrap` consumes the identifier; keep a copy for in-process
+    // registry use on the server side.
+    let s_local_door = reg_domain
+        .copy_door(reg_door)
+        .and_then(|d| reg_domain.transfer_door(d, s_ctx.domain()))
+        .unwrap();
+    s_net
+        .set_bootstrap(s_node.id(), &reg_domain, reg_door)
+        .unwrap();
+    let path = temp_sock("uds");
+    let _listener = s_net.listen_uds(s_node.id(), &path).unwrap();
+
+    // Client "process": dial, pull the registry door out of the HELLO,
+    // and fetch the file system as a typed object.
+    let c_net = Network::new(NetConfig::default());
+    let c_node = c_net.add_node_with_id("client-proc", 202);
+    let c_ctx = ctx_on(c_node.kernel(), "client");
+    let peer = c_net.connect_uds(c_node.id(), &path).unwrap();
+    let boot = peer.bootstrap_door(c_ctx.domain()).unwrap();
+    let registry = RegistryClient::new(c_ctx.clone(), boot);
+
+    assert_eq!(registry.list().unwrap(), vec!["fs".to_owned()]);
+    let obj = registry.lookup("fs", &fs::FILE_SYSTEM_TYPE).unwrap();
+    let remote_fs = fs::FileSystem::from_obj(obj).unwrap();
+
+    // Every stub call below crosses the socket through proxy doors.
+    assert_eq!(remote_fs.list().unwrap(), vec!["/etc/motd".to_owned()]);
+    let f = remote_fs.open("/etc/motd").unwrap();
+    assert_eq!(f.read(0, 5).unwrap(), b"hello");
+    f.write(6, b"across socket ").unwrap();
+    assert_eq!(f.read(0, 18).unwrap(), b"hello across socke");
+
+    // Unknown names fail with a typed resolve error, not a wedged call.
+    match registry.lookup("nope", &fs::FILE_SYSTEM_TYPE) {
+        Err(SpringError::ResolveFailed(why)) => assert!(why.contains("nope")),
+        other => panic!("expected ResolveFailed, got {other:?}"),
+    }
+
+    // Registration works *through* the door too: the client publishes its
+    // own file system, whose doors are stored server-side as proxies back
+    // to the client process.
+    let c_files = FileServer::new(&c_ctx, "cache_manager");
+    c_files.put("/client/own", b"mine");
+    let c_fs = c_files.export_fs().unwrap();
+    registry.register("client-fs", &c_fs.into_obj()).unwrap();
+    assert_eq!(
+        registry.list().unwrap(),
+        vec!["client-fs".to_owned(), "fs".to_owned()]
+    );
+
+    // Looking the entry back up from the registering process brings the
+    // identifiers home: the fetched object is served locally again.
+    let home = registry.lookup("client-fs", &fs::FILE_SYSTEM_TYPE).unwrap();
+    let home_fs = fs::FileSystem::from_obj(home).unwrap();
+    assert_eq!(home_fs.list().unwrap(), vec!["/client/own".to_owned()]);
+    assert_eq!(
+        home_fs.open("/client/own").unwrap().read(0, 4).unwrap(),
+        b"mine"
+    );
+
+    // The server process can reach the client's file system as well: the
+    // stored proxies route calls back across the same connection.
+    let s_view = RegistryClient::new(s_ctx.clone(), s_local_door)
+        .lookup("client-fs", &fs::FILE_SYSTEM_TYPE)
+        .unwrap();
+    let s_fs = fs::FileSystem::from_obj(s_view).unwrap();
+    assert_eq!(
+        s_fs.open("/client/own").unwrap().read(0, 4).unwrap(),
+        b"mine"
+    );
+}
+
+#[test]
+fn registry_round_trips_locally_without_any_socket() {
+    // The same servant/client pair over a plain local door: the simulated
+    // and socket paths share one handshake protocol.
+    let kernel = spring_kernel::Kernel::new("local");
+    let ctx = ctx_on(&kernel, "apps");
+    let reg_domain = kernel.create_domain("registry");
+    let (servant, door) = RegistryServant::publish(&reg_domain).unwrap();
+
+    let files = FileServer::new(&ctx, "cache_manager");
+    files.put("/a", b"aa");
+    servant
+        .register_local("fs", &files.export_fs().unwrap().into_obj())
+        .unwrap();
+
+    let local_door = reg_domain
+        .copy_door(door)
+        .and_then(|d| reg_domain.transfer_door(d, ctx.domain()))
+        .unwrap();
+    let registry = RegistryClient::new(ctx.clone(), local_door);
+    let obj = registry.lookup("fs", &fs::FILE_SYSTEM_TYPE).unwrap();
+    let fsys = fs::FileSystem::from_obj(obj).unwrap();
+    assert_eq!(fsys.open("/a").unwrap().read(0, 2).unwrap(), b"aa");
+
+    // Replacing a binding must not leak the replaced entry's doors.
+    let before = {
+        let s = kernel.stats();
+        s.ids_issued - s.ids_deleted
+    };
+    files.put("/b", b"bb");
+    servant
+        .register_local("fs", &files.export_fs().unwrap().into_obj())
+        .unwrap();
+    let after = {
+        let s = kernel.stats();
+        s.ids_issued - s.ids_deleted
+    };
+    assert_eq!(after, before, "replaced registry entry leaked identifiers");
+
+    // A malformed registry call is answered with a typed error and leaves
+    // no identifiers behind.
+    let msg = CommBuffer::new().into_message();
+    let res = ctx.domain().call(
+        {
+            reg_domain
+                .copy_door(door)
+                .and_then(|d| reg_domain.transfer_door(d, ctx.domain()))
+                .unwrap()
+        },
+        msg,
+    );
+    assert!(res.is_err(), "empty registry call must be rejected");
+}
